@@ -1,0 +1,95 @@
+"""E11: ablation of the unified framework (paper §2.2).
+
+Crosses the plan-exploration strategies (hint sets / cardinality scaling /
+leading-table hints) with the risk models (pointwise tree-conv, pairwise
+comparator, variance-filtered ensemble): 9 learned optimizers, each given
+the same offline warm-up (observe up to 3 executed candidates for 30
+training queries) and the same 150-query evaluation workload.
+
+Expected shape: every combination is viable (the framework claim); hint
+sets + pointwise reproduces Bao, scaling + pairwise reproduces Lero;
+pairwise/ensemble risk models have smaller regression tails than the
+pointwise model at similar or slightly lower speedup.
+"""
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.core.framework import LearnedOptimizer
+from repro.costmodel import PlanFeaturizer
+from repro.e2e import (
+    CardinalityScalingExploration,
+    EnsembleLatencyModel,
+    HintSetExploration,
+    LeadingTableExploration,
+    OptimizationLoop,
+    PairwisePlanComparator,
+    TreeConvLatencyModel,
+)
+from repro.sql import WorkloadGenerator
+
+
+def test_e11_framework_ablation(benchmark, imdb_db, imdb_optimizer, imdb_simulator):
+    warmup = WorkloadGenerator(imdb_db, seed=71).workload(
+        30, 2, 5, require_predicate=True
+    )
+    workload = WorkloadGenerator(imdb_db, seed=72).workload(
+        150, 2, 5, require_predicate=True
+    )
+    featurizer = PlanFeaturizer(imdb_db, imdb_optimizer.estimator)
+
+    strategies = {
+        "hints": lambda: HintSetExploration(imdb_optimizer),
+        "card_scale": lambda: CardinalityScalingExploration(imdb_optimizer),
+        "leading": lambda: LeadingTableExploration(imdb_optimizer),
+    }
+    risk_models = {
+        "pointwise": lambda: TreeConvLatencyModel(featurizer, thompson=False, seed=0),
+        "pairwise": lambda: PairwisePlanComparator(featurizer, seed=0),
+        "variance": lambda: EnsembleLatencyModel(featurizer, seed=0),
+    }
+
+    def run():
+        rows = []
+        outcomes = {}
+        for s_name, make_strategy in strategies.items():
+            for r_name, make_risk in risk_models.items():
+                strategy = make_strategy()
+                risk = make_risk()
+                # Shared offline warm-up: observe executed candidates.
+                for q in warmup:
+                    for cand in strategy.candidates(q)[:3]:
+                        risk.observe(
+                            cand, imdb_simulator.execute(cand.plan).latency_ms
+                        )
+                risk.retrain()
+                learned = LearnedOptimizer(
+                    strategy, risk, retrain_every=30, name=f"{s_name}+{r_name}"
+                )
+                loop = OptimizationLoop(learned, imdb_simulator, imdb_optimizer)
+                loop.run(workload)
+                s = loop.summary(tail=75)
+                outcomes[(s_name, r_name)] = s
+                rows.append(
+                    (
+                        s_name,
+                        r_name,
+                        s["workload_speedup"],
+                        s["n_regressions"],
+                        s["worst_regression"],
+                    )
+                )
+        return rows, outcomes
+
+    rows, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        render_table(
+            "E11: exploration strategy x risk model (tail of 75 queries)",
+            ["exploration", "risk model", "speedup", "regressions", "worst"],
+            rows,
+            note="hints+pointwise ~ Bao; card_scale+pairwise ~ Lero; leading+variance ~ HyperQO",
+        )
+    )
+    speedups = [s["workload_speedup"] for s in outcomes.values()]
+    assert all(sp > 0.7 for sp in speedups), "every combination must stay viable"
+    assert max(speedups) > 1.1, "the framework should find real wins"

@@ -1,0 +1,137 @@
+"""E2: estimator accuracy under data drift ([61]'s dynamic setting).
+
+After appending 25% distribution-shifted rows to every table, each
+estimator is evaluated three ways: built on the old data and left *stale*,
+*refreshed* (data-driven models rebuild / query-driven models refit on
+fresh feedback), and Robust-MSCN's masked-inference path which needs no
+update at all.
+
+Expected shape: stale errors blow up (most for query-driven models whose
+training queries described the old data); refresh restores accuracy;
+Robust-MSCN degrades the least without any update.
+"""
+
+import numpy as np
+
+from repro.bench import apply_drift, render_table
+from repro.cardest import (
+    BayesNetEstimator,
+    FSPNEstimator,
+    GBDTQueryEstimator,
+    HistogramEstimator,
+    MSCNEstimator,
+    RobustMSCNEstimator,
+    SPNEstimator,
+    Warper,
+)
+from repro.cardest.base import q_error_summary
+from repro.engine import CardinalityExecutor
+from repro.optimizer import DatabaseStats
+from repro.sql import WorkloadGenerator
+from repro.storage import make_stats_lite
+
+
+def test_e2_drift(benchmark):
+    def run():
+        db = make_stats_lite(scale=0.6, seed=0)
+        executor = CardinalityExecutor(db)
+        train_gen = WorkloadGenerator(db, seed=1)
+        train_q = train_gen.workload(350, 1, 3, require_predicate=True)
+        train_c = np.array([executor.cardinality(q) for q in train_q])
+
+        stale_stats = DatabaseStats.build(db)
+        methods = {
+            "histogram": HistogramEstimator(db, stale_stats),
+            "mscn": MSCNEstimator(db, epochs=60).fit(train_q, train_c),
+            "robust_mscn": RobustMSCNEstimator(db, epochs=60).fit(train_q, train_c),
+            "bayesnet": BayesNetEstimator(db),
+            "spn": SPNEstimator(db),
+            "fspn": FSPNEstimator(db),
+        }
+
+        apply_drift(db, fraction=0.25, seed=5)
+        executor.clear_cache()
+        test_gen = WorkloadGenerator(db, seed=97)
+        test_q = test_gen.workload(120, 1, 3, require_predicate=True)
+        test_c = np.array([executor.cardinality(q) for q in test_q])
+
+        rows = []
+        results = {}
+        for name, est in methods.items():
+            stale = q_error_summary(
+                np.array([est.estimate(q) for q in test_q]), test_c
+            )
+            # Refresh: rebuild data-driven models; refit supervised models
+            # on post-drift feedback; re-ANALYZE the histogram.
+            if hasattr(est, "refresh"):
+                est.refresh()
+            elif name == "histogram":
+                est = HistogramEstimator(db, DatabaseStats.build(db))
+            else:
+                fresh_gen = WorkloadGenerator(db, seed=11)
+                fresh_q = fresh_gen.workload(350, 1, 3, require_predicate=True)
+                fresh_c = np.array([executor.cardinality(q) for q in fresh_q])
+                est.fit(fresh_q, fresh_c)
+            fresh = q_error_summary(
+                np.array([est.estimate(q) for q in test_q]), test_c
+            )
+            results[name] = (stale, fresh)
+            rows.append(
+                (name, stale["gmq"], stale["p90"], fresh["gmq"], fresh["p90"])
+            )
+        # Robust-MSCN's no-update masked path.
+        masked_est = methods["robust_mscn"]
+        masked = q_error_summary(
+            np.array([masked_est.estimate_masked(q) for q in test_q]), test_c
+        )
+        rows.append(("robust_mscn(masked)", masked["gmq"], masked["p90"], "-", "-"))
+
+        # Warper [29]: automatic drift-triggered adaptation of a supervised
+        # estimator via targeted query regeneration (detector included).
+        # Snapshot semantics: build on pre-drift data would be ideal, but
+        # the drift already happened above; emulate by snapshotting a fresh
+        # detector on a clean replica, then pointing it at the drifted db.
+        from repro.storage import make_stats_lite as _mk
+
+        clean = _mk(scale=0.6, seed=0)
+        gbdt = GBDTQueryEstimator(clean)
+        warper = Warper(clean, gbdt, seed=0)
+        clean_gen = WorkloadGenerator(clean, seed=1)
+        clean_q = clean_gen.workload(250, 1, 3, require_predicate=True)
+        clean_exec = CardinalityExecutor(clean)
+        warper.fit_initial(
+            clean_q, np.array([clean_exec.cardinality(q) for q in clean_q])
+        )
+        apply_drift(clean, fraction=0.25, seed=5)
+        clean_exec.clear_cache()
+        c_test = WorkloadGenerator(clean, seed=97).workload(
+            120, 1, 3, require_predicate=True
+        )
+        c_truth = np.array([clean_exec.cardinality(q) for q in c_test])
+        stale_w = q_error_summary(
+            np.array([gbdt.estimate(q) for q in c_test]), c_truth
+        )
+        warper.adapt()
+        fresh_w = q_error_summary(
+            np.array([gbdt.estimate(q) for q in c_test]), c_truth
+        )
+        results["warper(gbdt)"] = (stale_w, fresh_w)
+        rows.append(
+            ("warper(gbdt) [29]", stale_w["gmq"], stale_w["p90"],
+             fresh_w["gmq"], fresh_w["p90"])
+        )
+        return rows, results
+
+    rows, results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        render_table(
+            "E2: q-error under 25% shifted inserts (stale vs refreshed)",
+            ["method", "stale_gmq", "stale_p90", "fresh_gmq", "fresh_p90"],
+            rows,
+            note="refresh restores accuracy; staleness costs most where models memorized old data",
+        )
+    )
+    improved = sum(
+        1 for stale, fresh in results.values() if fresh["gmq"] <= stale["gmq"] * 1.05
+    )
+    assert improved >= len(results) - 1, "refresh should (almost) never hurt"

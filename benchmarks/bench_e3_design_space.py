@@ -1,0 +1,67 @@
+"""E3: design-space exploration of learned estimators ([53]-style).
+
+Sweeps the training-set size for the query-driven family and reports the
+accuracy / training-cost / inference-latency trade-off grid that guides
+practitioners' model choice.  Data-driven models (no workload needed) are
+included as horizontal reference lines.
+
+Expected shape: query-driven accuracy improves with training data and
+plateaus; GBDT is the cheapest to train; data-driven models match or beat
+the largest-workload query-driven models on this single-schema setting.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import build_estimator, render_table
+from repro.cardest.base import q_error_summary
+
+TRAIN_SIZES = [50, 150, 400]
+QUERY_DRIVEN = ["linear", "gbdt", "mlp", "mscn"]
+DATA_DRIVEN = ["bayesnet", "fspn"]
+
+
+def test_e3_design_space(benchmark, stats_db, stats_train, stats_test):
+    train_q, train_c = stats_train
+    test_q, test_c = stats_test
+
+    def run():
+        rows = []
+        gmq_by_size = {m: [] for m in QUERY_DRIVEN}
+        for name in QUERY_DRIVEN:
+            for n in TRAIN_SIZES:
+                est = build_estimator(name, stats_db, budget="full")
+                t0 = time.perf_counter()
+                est.fit(train_q[:n], train_c[:n])
+                train_s = time.perf_counter() - t0
+                t0 = time.perf_counter()
+                preds = np.array([est.estimate(q) for q in test_q])
+                infer_ms = (time.perf_counter() - t0) / len(test_q) * 1000
+                s = q_error_summary(preds, test_c)
+                gmq_by_size[name].append(s["gmq"])
+                rows.append((name, n, s["gmq"], s["p90"], train_s, infer_ms))
+        for name in DATA_DRIVEN:
+            t0 = time.perf_counter()
+            est = build_estimator(name, stats_db, budget="full")
+            train_s = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            preds = np.array([est.estimate(q) for q in test_q])
+            infer_ms = (time.perf_counter() - t0) / len(test_q) * 1000
+            s = q_error_summary(preds, test_c)
+            rows.append((name, "(data)", s["gmq"], s["p90"], train_s, infer_ms))
+        return rows, gmq_by_size
+
+    rows, gmq_by_size = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        render_table(
+            "E3: accuracy vs training size vs cost (stats_lite)",
+            ["method", "train_n", "gmq", "p90", "train_s", "infer_ms"],
+            rows,
+            note="query-driven gmq should fall (or plateau) as training data grows",
+        )
+    )
+    improving = sum(
+        1 for name in QUERY_DRIVEN if gmq_by_size[name][-1] <= gmq_by_size[name][0] * 1.1
+    )
+    assert improving >= 3, "most query-driven methods should benefit from data"

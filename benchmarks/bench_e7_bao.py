@@ -1,0 +1,60 @@
+"""E7: Bao vs the native optimizer over training episodes ([37]-style).
+
+Runs Bao on a 300-query JOB-style workload with execution feedback,
+reporting the workload-speedup learning curve (windows of 50 queries) and
+the final-tail latency distribution vs native -- the two exhibits Bao's
+evaluation leads with.
+
+Expected shape: ~1x during warm-up (Bao ships native plans), rising past
+1.2-1.5x once the latency model converges, with the tail (p99) improving
+at least as much as the median.
+"""
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.e2e import BaoOptimizer, OptimizationLoop
+from repro.sql import WorkloadGenerator
+
+
+def test_e7_bao_learning_curve(benchmark, imdb_db, imdb_optimizer, imdb_simulator):
+    workload = WorkloadGenerator(imdb_db, seed=21).workload(
+        300, 2, 5, require_predicate=True
+    )
+
+    def run():
+        bao = BaoOptimizer(imdb_optimizer, seed=0)
+        loop = OptimizationLoop(bao, imdb_simulator, imdb_optimizer)
+        loop.run(workload)
+        windows = []
+        for start in range(0, len(workload), 50):
+            chunk = loop.results[start : start + 50]
+            lat = sum(r.latency_ms for r in chunk)
+            nat = sum(r.native_latency_ms for r in chunk)
+            reg = sum(1 for r in chunk if r.regression > 1.1)
+            windows.append((f"{start}-{start+50}", nat / max(lat, 1e-9), reg))
+        return windows, loop.summary(tail=100)
+
+    windows, tail = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        render_table(
+            "E7: Bao workload-speedup learning curve (windows of 50 queries)",
+            ["queries", "speedup (native/bao)", "regressions"],
+            windows,
+            note=(
+                f"final-tail summary: speedup={tail['workload_speedup']:.2f}, "
+                f"p99 {tail['native_p99_latency_ms']:.1f} -> {tail['p99_latency_ms']:.1f} ms, "
+                f"worst regression {tail['worst_regression']:.2f}x"
+            ),
+        )
+    )
+    # Early windows pay Thompson-sampling exploration cost; later windows
+    # must recover it and beat native (the Bao learning-curve shape).
+    first_window_speedup = windows[0][1]
+    last_window_speedup = windows[-1][1]
+    assert last_window_speedup > first_window_speedup
+    assert last_window_speedup > 1.1, "Bao should beat native after training"
+    assert tail["workload_speedup"] > 1.1
+    early_regressions = windows[0][2]
+    late_regressions = windows[-1][2]
+    assert late_regressions <= early_regressions, "regressions should fade with training"

@@ -1,0 +1,106 @@
+"""E8: Lero vs native vs Bao ([79]-style headline comparison).
+
+Lero gets its pair-collection training phase (executing candidate plans
+for 60 training queries), then all three optimizers serve the same
+200-query workload.  Reported per system: total latency, speedup over
+native, p50/p99 and regression count on the post-warm-up tail.
+
+Expected shape: both learned optimizers beat native on workload latency,
+with Bao's hint-steered exploration reaching the higher peak at this
+scale.  Lero's gains -- and its regression tail -- are limited by pair
+coverage: with only 60 pair-collection queries its comparator can still
+misrank unfamiliar plan shapes, which is exactly the residual-regression
+problem the E9 guards address.
+"""
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.e2e import (
+    BaoOptimizer,
+    LeroOptimizer,
+    LogerOptimizer,
+    NeoOptimizer,
+    OptimizationLoop,
+)
+from repro.sql import WorkloadGenerator
+
+
+def test_e8_lero_vs_bao(benchmark, imdb_db, imdb_optimizer, imdb_simulator):
+    train = WorkloadGenerator(imdb_db, seed=31).workload(
+        60, 2, 5, require_predicate=True
+    )
+    workload = WorkloadGenerator(imdb_db, seed=32).workload(
+        200, 2, 5, require_predicate=True
+    )
+
+    def run():
+        results = {}
+
+        class Native:
+            def choose_plan(self, query):
+                from repro.core.framework import CandidatePlan
+
+                return CandidatePlan(imdb_optimizer.plan(query), "default")
+
+            def record_feedback(self, *a):
+                pass
+
+        native_loop = OptimizationLoop(Native(), imdb_simulator, imdb_optimizer)
+        native_loop.run(workload)
+        results["native"] = native_loop.summary(tail=100)
+
+        bao = BaoOptimizer(imdb_optimizer, seed=0)
+        bao_loop = OptimizationLoop(bao, imdb_simulator, imdb_optimizer)
+        bao_loop.run(workload)
+        results["bao [37]"] = bao_loop.summary(tail=100)
+
+        lero = LeroOptimizer(imdb_optimizer, seed=0)
+        lero.train_offline(train, imdb_simulator.latency)
+        lero_loop = OptimizationLoop(lero, imdb_simulator, imdb_optimizer)
+        lero_loop.run(workload)
+        results["lero [79]"] = lero_loop.summary(tail=100)
+
+        # The from-scratch searchers, expert-bootstrapped on the training
+        # workload.
+        neo = NeoOptimizer(imdb_optimizer, seed=0)
+        neo.bootstrap_from_expert(train, imdb_simulator.latency)
+        neo_loop = OptimizationLoop(neo, imdb_simulator, imdb_optimizer)
+        neo_loop.run(workload)
+        results["neo [38]"] = neo_loop.summary(tail=100)
+
+        loger = LogerOptimizer(imdb_optimizer, seed=0)
+        loger.bootstrap_from_expert(train, imdb_simulator.latency)
+        loger_loop = OptimizationLoop(loger, imdb_simulator, imdb_optimizer)
+        loger_loop.run(workload)
+        results["loger [3]"] = loger_loop.summary(tail=100)
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            name,
+            s["total_latency_ms"],
+            s["workload_speedup"],
+            s["p50_latency_ms"],
+            s["p99_latency_ms"],
+            s["n_regressions"],
+            s["worst_regression"],
+        )
+        for name, s in results.items()
+    ]
+    print(
+        render_table(
+            "E8: native vs learned optimizers (200 queries, post-warm-up tail of 100)",
+            ["system", "latency_ms", "speedup", "p50", "p99", "regressions", "worst"],
+            rows,
+            note="Lero pair-collected offline; Neo/LOGER expert-bootstrapped on 60 queries",
+        )
+    )
+    assert results["bao [37]"]["workload_speedup"] > 1.05
+    assert results["lero [79]"]["workload_speedup"] > 0.95
+    assert results["native"]["workload_speedup"] == 1.0
+    # From-scratch searchers are viable after bootstrap, though typically
+    # below Bao at this feedback budget (the Neo/Balsa training-cost story).
+    assert results["neo [38]"]["workload_speedup"] > 0.7
+    assert results["loger [3]"]["workload_speedup"] > 0.7

@@ -1,0 +1,82 @@
+"""E9: regression elimination with Eraser ([62]) and PerfGuard ([18]).
+
+Each learned optimizer runs the same workload three times: unguarded, with
+Eraser, and with PerfGuard.  Reported: workload speedup kept, number of
+regressions (>1.1x) and the worst regression on the post-warm-up tail,
+plus the guard's intervention rate.
+
+Expected shape ([62]): Eraser removes most of the regression *tail* while
+keeping a meaningful share of the improvement; PerfGuard is the
+conservative extreme -- near-zero regressions, little improvement kept.
+"""
+
+import numpy as np
+
+from repro.bench import render_table
+from repro.costmodel import PlanFeaturizer
+from repro.e2e import BaoOptimizer, LeroOptimizer, OptimizationLoop
+from repro.regression import Eraser, PerfGuard
+from repro.sql import WorkloadGenerator
+
+
+def test_e9_regression_elimination(benchmark, imdb_db, imdb_optimizer, imdb_simulator):
+    workload = WorkloadGenerator(imdb_db, seed=41).workload(
+        220, 2, 5, require_predicate=True
+    )
+    train = WorkloadGenerator(imdb_db, seed=42).workload(
+        50, 2, 5, require_predicate=True
+    )
+    featurizer = PlanFeaturizer(imdb_db, imdb_optimizer.estimator)
+
+    def make_learned(kind):
+        if kind == "bao":
+            return BaoOptimizer(imdb_optimizer, seed=0)
+        lero = LeroOptimizer(imdb_optimizer, seed=0)
+        lero.train_offline(train, imdb_simulator.latency)
+        return lero
+
+    def run():
+        rows = []
+        outcomes = {}
+        for kind in ("bao", "lero"):
+            for guard_name in ("none", "eraser", "perfguard"):
+                guard = None
+                if guard_name == "eraser":
+                    guard = Eraser(featurizer)
+                elif guard_name == "perfguard":
+                    guard = PerfGuard(featurizer)
+                loop = OptimizationLoop(
+                    make_learned(kind), imdb_simulator, imdb_optimizer, guard=guard
+                )
+                loop.run(workload)
+                s = loop.summary(tail=110)
+                outcomes[(kind, guard_name)] = s
+                rows.append(
+                    (
+                        kind,
+                        guard_name,
+                        s["workload_speedup"],
+                        s["n_regressions"],
+                        s["worst_regression"],
+                        guard.intervention_rate if guard else 0.0,
+                    )
+                )
+        return rows, outcomes
+
+    rows, outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        render_table(
+            "E9: learned optimizers x regression guards (tail of 110 queries)",
+            ["optimizer", "guard", "speedup", "regressions", "worst", "intervention"],
+            rows,
+            note="guards trade improvement for tail safety; perfguard is the conservative extreme",
+        )
+    )
+    for kind in ("bao", "lero"):
+        none = outcomes[(kind, "none")]
+        eraser = outcomes[(kind, "eraser")]
+        pg = outcomes[(kind, "perfguard")]
+        # PerfGuard's contract: (almost) no regressions left.
+        assert pg["worst_regression"] <= max(none["worst_regression"], 1.3)
+        # Eraser keeps a working optimizer (not a catastrophic one).
+        assert eraser["workload_speedup"] > 0.85

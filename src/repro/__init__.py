@@ -1,0 +1,58 @@
+"""repro: a learned-query-optimizer workbench.
+
+A working reproduction of the landscape surveyed by *"Learned Query
+Optimizer: What is New and What is Next"* (SIGMOD 2024): a mini-DBMS
+substrate with a Volcano-style optimizer and deterministic execution
+simulator, twenty learned cardinality estimators, five learned cost
+models, four RL join-order searchers, seven end-to-end learned optimizers
+under one unified framework, two regression-elimination plugins, and a
+PilotScope-style deployment middleware -- all pure Python + numpy.
+
+Quickstart::
+
+    from repro import quickstart_database, Optimizer, ExecutionSimulator
+    from repro.sql import parse_query
+
+    db = quickstart_database()
+    opt = Optimizer(db)
+    sim = ExecutionSimulator(db)
+    plan = opt.plan(parse_query(
+        "SELECT COUNT(*) FROM posts, users "
+        "WHERE posts.owner_id = users.id AND users.reputation <= 5"))
+    print(plan.pretty())
+    print(sim.execute(plan).latency_ms, "ms")
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced experiments.
+"""
+
+from repro.storage import Database, make_imdb_lite, make_stats_lite, make_tpch_lite
+from repro.sql import Query, WorkloadGenerator, parse_query
+from repro.engine import CardinalityExecutor, ExecutionSimulator, Plan
+from repro.optimizer import HintSet, Optimizer
+from repro.core import LearnedOptimizer, registry
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Database",
+    "make_imdb_lite",
+    "make_stats_lite",
+    "make_tpch_lite",
+    "quickstart_database",
+    "Query",
+    "WorkloadGenerator",
+    "parse_query",
+    "CardinalityExecutor",
+    "ExecutionSimulator",
+    "Plan",
+    "HintSet",
+    "Optimizer",
+    "LearnedOptimizer",
+    "registry",
+]
+
+
+def quickstart_database() -> Database:
+    """A small STATS-style database for examples and doctests."""
+    return make_stats_lite(scale=0.5, seed=0)

@@ -1,0 +1,39 @@
+"""Benchmark harness support: metrics, report tables, workload recipes.
+
+The runnable experiments live in ``benchmarks/`` (one per table/figure of
+EXPERIMENTS.md); this package provides their shared machinery:
+
+- :mod:`repro.bench.report` -- plain-text table rendering in the shape
+  benchmark papers print;
+- :mod:`repro.bench.workloads` -- canonical train/test workload recipes
+  and the data-drift generator used by the dynamic experiments;
+- :mod:`repro.bench.suite` -- estimator/optimizer suite builders so every
+  experiment constructs methods consistently.
+"""
+
+from repro.bench.report import render_table
+from repro.bench.io import load_workload, save_workload
+from repro.bench.workloads import (
+    WorkloadSpec,
+    apply_drift,
+    make_workloads,
+)
+from repro.bench.suite import (
+    build_estimator,
+    data_driven_estimators,
+    hybrid_estimators,
+    query_driven_estimators,
+)
+
+__all__ = [
+    "render_table",
+    "save_workload",
+    "load_workload",
+    "WorkloadSpec",
+    "apply_drift",
+    "make_workloads",
+    "build_estimator",
+    "query_driven_estimators",
+    "data_driven_estimators",
+    "hybrid_estimators",
+]

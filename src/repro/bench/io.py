@@ -1,0 +1,46 @@
+"""Workload persistence: save/load query workloads as SQL text files.
+
+Real benchmark suites ship their workloads as ``.sql`` files (JOB, CEB,
+STATS all do); this module gives the repo the same surface so experiments
+can be re-run against frozen workloads, and users can hand-edit or diff
+them.  One query per line; ``--``-prefixed lines are comments.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.sql.parser import parse_query
+from repro.sql.query import Query
+
+__all__ = ["save_workload", "load_workload"]
+
+
+def save_workload(path: str | Path, queries: list[Query], header: str = "") -> None:
+    """Write queries (one SQL statement per line) to ``path``."""
+    lines = []
+    if header:
+        for ln in header.splitlines():
+            lines.append(f"-- {ln}")
+    lines.extend(q.to_sql() for q in queries)
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def load_workload(path: str | Path) -> list[Query]:
+    """Read a workload written by :func:`save_workload`.
+
+    Blank lines and ``--`` comments are skipped; any unparseable line
+    raises with its line number so broken files fail loudly.
+    """
+    queries: list[Query] = []
+    for lineno, raw in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = raw.strip()
+        if not line or line.startswith("--"):
+            continue
+        try:
+            queries.append(parse_query(line))
+        except Exception as exc:
+            raise ValueError(f"{path}:{lineno}: {exc}") from exc
+    return queries

@@ -1,0 +1,122 @@
+"""Canonical workload recipes and the data-drift generator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sql.generator import WorkloadGenerator
+from repro.sql.query import Query
+from repro.storage.catalog import Database
+
+__all__ = ["WorkloadSpec", "make_workloads", "apply_drift"]
+
+
+@dataclass
+class WorkloadSpec:
+    """A reproducible train/test workload pair over one database."""
+
+    train: list[Query]
+    test: list[Query]
+
+
+def make_workloads(
+    db: Database,
+    *,
+    n_train: int = 300,
+    n_test: int = 80,
+    min_tables: int = 1,
+    max_tables: int = 4,
+    train_seed: int = 1,
+    test_seed: int = 97,
+    single_table: str | None = None,
+) -> WorkloadSpec:
+    """Standard workload recipe used across experiments.
+
+    ``single_table`` switches to the [61]-style single-table range
+    workload over the named table.
+    """
+    train_gen = WorkloadGenerator(db, seed=train_seed)
+    test_gen = WorkloadGenerator(db, seed=test_seed)
+    if single_table is not None:
+        return WorkloadSpec(
+            train=train_gen.single_table_workload(single_table, n_train),
+            test=test_gen.single_table_workload(single_table, n_test),
+        )
+    return WorkloadSpec(
+        train=train_gen.workload(
+            n_train, min_tables, max_tables, require_predicate=True
+        ),
+        test=test_gen.workload(
+            n_test, min_tables, max_tables, require_predicate=True
+        ),
+    )
+
+
+def apply_drift(
+    db: Database,
+    *,
+    fraction: float = 0.2,
+    shift_quantile: float = 0.75,
+    seed: int = 0,
+) -> list[str]:
+    """Append distribution-shifted rows to every table (dynamic-data tests).
+
+    New rows take non-key column values from the top ``shift_quantile``
+    tail of the existing distribution (so the data's shape genuinely
+    changes), foreign keys resample uniformly over existing parents (which
+    flattens the fan-out skew), and primary keys continue the sequence.
+    Returns the list of modified tables.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    # Which (table, column) pairs are FK sides of join edges.
+    key_cols: dict[str, set[str]] = {t: set() for t in db.table_names}
+    for e in db.joins:
+        key_cols[e.left_table].add(e.left_column)
+        key_cols[e.right_table].add(e.right_column)
+
+    changed: list[str] = []
+    # Snapshot parent keys before any append so FKs stay valid.
+    parents: dict[tuple[str, str], np.ndarray] = {}
+    for t in db.table_names:
+        for c in key_cols[t]:
+            parents[(t, c)] = db.table(t).values(c).copy()
+
+    for tname in db.table_names:
+        table = db.table(tname)
+        n_new = int(table.n_rows * fraction)
+        if n_new == 0:
+            continue
+        rows: dict[str, np.ndarray] = {}
+        for cname in table.column_names:
+            col = table.column(cname)
+            if col.is_key:
+                start = int(col.values.max()) + 1
+                rows[cname] = np.arange(start, start + n_new, dtype=col.values.dtype)
+            elif cname in key_cols[tname] and not col.is_key:
+                # FK: resample uniformly from the parent side of some edge.
+                edge = next(
+                    e
+                    for e in db.joins
+                    if (e.left_table, e.left_column) == (tname, cname)
+                    or (e.right_table, e.right_column) == (tname, cname)
+                )
+                other_t = edge.other(tname)
+                other_c = edge.column_of(other_t)
+                pool = parents.get((other_t, other_c))
+                if pool is None:
+                    pool = db.table(other_t).values(other_c)
+                rows[cname] = rng.choice(pool, size=n_new).astype(col.values.dtype)
+            else:
+                hi_vals = col.values[
+                    col.values >= np.quantile(col.values, shift_quantile)
+                ]
+                if hi_vals.size == 0:
+                    hi_vals = col.values
+                rows[cname] = rng.choice(hi_vals, size=n_new).astype(col.values.dtype)
+        table.append_rows(rows)
+        changed.append(tname)
+    return changed

@@ -1,0 +1,70 @@
+"""Base class and shared utilities for cardinality estimators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql.query import Query
+from repro.storage.catalog import Database
+
+__all__ = ["BaseCardinalityEstimator", "q_error", "q_error_summary"]
+
+
+def q_error(estimate: float, true: float) -> float:
+    """The standard q-error metric ``max(est/true, true/est)``.
+
+    Both sides are floored at 1 (the usual convention) so empty results and
+    zero estimates do not produce infinities.
+    """
+    est = max(float(estimate), 1.0)
+    tru = max(float(true), 1.0)
+    return max(est / tru, tru / est)
+
+
+def q_error_summary(
+    estimates: np.ndarray, truths: np.ndarray
+) -> dict[str, float]:
+    """Q-error quantiles in the shape the benchmark papers report."""
+    estimates = np.asarray(estimates, dtype=float)
+    truths = np.asarray(truths, dtype=float)
+    if estimates.shape != truths.shape:
+        raise ValueError("estimates/truths length mismatch")
+    if estimates.size == 0:
+        raise ValueError("empty evaluation set")
+    errs = np.array([q_error(e, t) for e, t in zip(estimates, truths)])
+    return {
+        "p50": float(np.percentile(errs, 50)),
+        "p90": float(np.percentile(errs, 90)),
+        "p99": float(np.percentile(errs, 99)),
+        "max": float(errs.max()),
+        "gmq": float(np.exp(np.log(errs).mean())),  # geometric mean q-error
+    }
+
+
+class BaseCardinalityEstimator:
+    """Common base: clamping, naming and the estimator protocol.
+
+    Subclasses implement :meth:`_estimate`; :meth:`estimate` clamps the
+    result into ``[0, upper_bound]`` where the upper bound is the product of
+    the (unfiltered) table sizes -- no valid SPJ result can exceed it.
+    """
+
+    name: str = "base"
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+
+    def _estimate(self, query: Query) -> float:
+        raise NotImplementedError
+
+    def estimate(self, query: Query) -> float:
+        upper = 1.0
+        for t in query.tables:
+            upper *= max(self.db.table(t).n_rows, 1)
+        value = self._estimate(query)
+        if not np.isfinite(value):
+            value = upper
+        return float(min(max(value, 0.0), upper))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,178 @@
+"""FactorJoin-style estimator [64]: per-table conditioning + binned
+join-key message passing.
+
+FactorJoin's insight is to decompose a join query into single-table
+conditional distributions over *join keys*, then combine them with a
+message-passing scheme over binned key domains.  This implementation keeps
+that structure:
+
+- per table, a row sample provides predicate-conditioned key histograms
+  (``count(key bin | predicates)``, scaled to full-table counts);
+- per join-key column, an equi-depth binner plus the full table's
+  distinct-key count per bin;
+- a query is answered by bottom-up message passing over a spanning tree of
+  its join graph, assuming within-bin key uniformity
+  (``matches(v) ~= count_child(bin(v)) / ndv_child(bin(v))``);
+- cycle-closing edges contribute the classic ``1/max(ndv)`` correction.
+
+Unlike the join-uniformity family this *does* capture predicate/join-key
+correlation (the sample is filtered before histogramming), which is exactly
+what the STATS benchmark credits FactorJoin-style methods for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cardest.base import BaseCardinalityEstimator
+from repro.cardest.binning import ColumnBinner
+from repro.sql.query import Join, Query
+from repro.storage.catalog import Database
+
+__all__ = ["FactorJoinEstimator"]
+
+
+class FactorJoinEstimator(BaseCardinalityEstimator):
+    """Binned join-histogram estimator in the style of FactorJoin [64]."""
+
+    name = "factorjoin"
+
+    def __init__(
+        self,
+        db: Database,
+        sample_rows: int = 1500,
+        key_bins: int = 64,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(db)
+        self.sample_rows = sample_rows
+        self.key_bins = key_bins
+        self.seed = seed
+        self._build()
+
+    def _build(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        # Which columns serve as join keys anywhere in the schema.
+        key_columns: dict[str, set[str]] = {t: set() for t in self.db.table_names}
+        for e in self.db.joins:
+            key_columns[e.left_table].add(e.left_column)
+            key_columns[e.right_table].add(e.right_column)
+
+        self._samples: dict[str, dict[str, np.ndarray]] = {}
+        self._scales: dict[str, float] = {}
+        self._binners: dict[tuple[str, str], ColumnBinner] = {}
+        self._bin_ndv: dict[tuple[str, str], np.ndarray] = {}
+        for tname, table in self.db.tables.items():
+            n = table.n_rows
+            take = rng.choice(n, size=min(self.sample_rows, n), replace=False)
+            self._samples[tname] = {
+                c: table.values(c)[take] for c in table.column_names
+            }
+            self._scales[tname] = n / max(take.shape[0], 1)
+            for key_col in key_columns[tname]:
+                values = table.values(key_col)
+                binner = ColumnBinner(values, max_bins=self.key_bins)
+                self._binners[(tname, key_col)] = binner
+                codes = binner.bin_of(values)
+                ndv = np.ones(binner.n_bins)
+                for b in range(binner.n_bins):
+                    in_bin = values[codes == b]
+                    ndv[b] = max(np.unique(in_bin).size, 1)
+                self._bin_ndv[(tname, key_col)] = ndv
+
+    def refresh(self) -> None:
+        """Rebuild samples and key histograms from current data."""
+        self._build()
+
+    # -- per-table filtered sample --------------------------------------------------
+
+    def _filtered_sample_mask(self, query: Query, table: str) -> np.ndarray:
+        sample = self._samples[table]
+        any_col = next(iter(sample.values()))
+        mask = np.ones(any_col.shape[0], dtype=bool)
+        for pred in query.predicates_on(table):
+            mask &= pred.evaluate(sample[pred.column.column])
+        return mask
+
+    # -- estimation --------------------------------------------------------------------
+
+    def _spanning_tree(
+        self, query: Query
+    ) -> tuple[list[tuple[str, str, str, str]], list[Join]]:
+        """(tree edges as (child, child_col, parent, parent_col) in
+        leaf-to-root processing order, cycle-closing extra joins)."""
+        root = query.tables[0]
+        visited = {root}
+        order: list[tuple[str, str, str, str]] = []
+        extras: list[Join] = []
+        remaining = list(query.joins)
+        progress = True
+        while remaining and progress:
+            progress = False
+            still = []
+            for j in remaining:
+                lt, rt = j.left.table, j.right.table
+                if lt in visited and rt in visited:
+                    extras.append(j)
+                    progress = True
+                elif lt in visited:
+                    visited.add(rt)
+                    order.append((rt, j.right.column, lt, j.left.column))
+                    progress = True
+                elif rt in visited:
+                    visited.add(lt)
+                    order.append((lt, j.left.column, rt, j.right.column))
+                    progress = True
+                else:
+                    still.append(j)
+            remaining = still
+        # Children must be processed before their parents: the discovery
+        # order above goes root-outward, so reverse it.
+        return list(reversed(order)), extras
+
+    def _estimate(self, query: Query) -> float:
+        if query.n_tables == 1:
+            t = query.tables[0]
+            mask = self._filtered_sample_mask(query, t)
+            return float(mask.sum() * self._scales[t])
+
+        weights: dict[str, np.ndarray] = {}
+        masks: dict[str, np.ndarray] = {}
+        for t in query.tables:
+            mask = self._filtered_sample_mask(query, t)
+            masks[t] = mask
+            weights[t] = np.full(int(mask.sum()), self._scales[t])
+
+        order, extras = self._spanning_tree(query)
+        for child, child_col, parent, parent_col in order:
+            binner = self._binners.get((child, child_col))
+            if binner is None:
+                # Join on an undeclared key: build a binner on the fly.
+                binner = ColumnBinner(
+                    self.db.table(child).values(child_col), max_bins=self.key_bins
+                )
+                self._binners[(child, child_col)] = binner
+                values = self.db.table(child).values(child_col)
+                codes = binner.bin_of(values)
+                ndv = np.ones(binner.n_bins)
+                for b in range(binner.n_bins):
+                    ndv[b] = max(np.unique(values[codes == b]).size, 1)
+                self._bin_ndv[(child, child_col)] = ndv
+            child_keys = self._samples[child][child_col][masks[child]]
+            bins = binner.bin_of(child_keys)
+            counts = np.zeros(binner.n_bins)
+            np.add.at(counts, bins, weights[child])
+            ndv = self._bin_ndv[(child, child_col)]
+            per_key = counts / ndv  # expected matching child weight per key
+            parent_keys = self._samples[parent][parent_col][masks[parent]]
+            parent_bins = binner.bin_of(parent_keys)
+            weights[parent] = weights[parent] * per_key[parent_bins]
+
+        root = order[-1][2] if order else query.tables[0]
+        card = float(weights[root].sum())
+        # Cycle-closing edges: classic NDV correction.
+        for j in extras:
+            l_ndv = self.db.table(j.left.table).column(j.left.column).n_distinct
+            r_ndv = self.db.table(j.right.table).column(j.right.column).n_distinct
+            card /= max(l_ndv, r_ndv, 1)
+        return card

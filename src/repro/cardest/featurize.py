@@ -1,0 +1,250 @@
+"""Query featurization for the query-driven estimators.
+
+Two featurizers, matching the two model families:
+
+- :class:`FlatQueryFeaturizer` -- one fixed-length vector per query (table
+  one-hots, join one-hots, per-column range slots), used by the linear /
+  GBDT / plain-MLP estimators [36, 9, 10, 32];
+- :class:`MSCNFeaturizer` -- the multi-set representation of MSCN [23]:
+  a *table set* (table one-hot + bitmap of a materialized per-table sample
+  evaluated against the query's predicates), a *join set* (join-edge
+  one-hots) and a *predicate set* (column one-hot + operator one-hot +
+  normalized constants).  Robust-MSCN's query masking [45] is provided via
+  ``mask_rate`` / ``drop_bitmaps`` switches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql.query import Op, Predicate, Query
+from repro.storage.catalog import Database
+
+__all__ = ["FlatQueryFeaturizer", "MSCNFeaturizer"]
+
+_OPS = [Op.EQ, Op.LT, Op.LE, Op.GT, Op.GE, Op.BETWEEN, Op.IN, Op.OR]
+
+
+class _ColumnIndex:
+    """Stable indices for tables, columns and join edges of a database."""
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.tables = list(db.table_names)
+        self.table_pos = {t: i for i, t in enumerate(self.tables)}
+        self.columns: list[tuple[str, str]] = []
+        for t in self.tables:
+            for c in db.table(t).column_names:
+                self.columns.append((t, c))
+        self.column_pos = {tc: i for i, tc in enumerate(self.columns)}
+        self.join_keys = [
+            (e.left_table, e.left_column, e.right_table, e.right_column)
+            for e in db.joins
+        ]
+        self.join_pos = {k: i for i, k in enumerate(self.join_keys)}
+        self._bounds: dict[tuple[str, str], tuple[float, float]] = {}
+        for t, c in self.columns:
+            col = db.table(t).column(c)
+            self._bounds[(t, c)] = (col.min, col.max)
+
+    def normalize(self, table: str, column: str, value: float) -> float:
+        lo, hi = self._bounds[(table, column)]
+        if hi <= lo:
+            return 0.5
+        return float(np.clip((value - lo) / (hi - lo), 0.0, 1.0))
+
+    def join_index(self, query_join) -> int:
+        key = (
+            query_join.left.table,
+            query_join.left.column,
+            query_join.right.table,
+            query_join.right.column,
+        )
+        rev = (key[2], key[3], key[0], key[1])
+        if key in self.join_pos:
+            return self.join_pos[key]
+        if rev in self.join_pos:
+            return self.join_pos[rev]
+        raise KeyError(f"join {query_join} not in the database's declared join graph")
+
+
+class FlatQueryFeaturizer:
+    """Fixed-length query vectors: tables + joins + per-column range slots.
+
+    Per column the 4 slots are ``[has_predicate, lo_norm, hi_norm,
+    point_fraction]`` where the point fraction is ``n_values / ndv`` for
+    EQ/IN predicates (0 for ranges).
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.index = _ColumnIndex(db)
+        self._ndv = {
+            (t, c): max(db.table(t).column(c).n_distinct, 1)
+            for t, c in self.index.columns
+        }
+
+    @property
+    def dim(self) -> int:
+        return (
+            len(self.index.tables)
+            + len(self.index.join_keys)
+            + 4 * len(self.index.columns)
+        )
+
+    def featurize(self, query: Query) -> np.ndarray:
+        idx = self.index
+        vec = np.zeros(self.dim)
+        for t in query.tables:
+            vec[idx.table_pos[t]] = 1.0
+        off = len(idx.tables)
+        for j in query.joins:
+            vec[off + idx.join_index(j)] = 1.0
+        off += len(idx.join_keys)
+        # Default slots: no predicate, full range.
+        for i in range(len(idx.columns)):
+            base = off + 4 * i
+            vec[base + 1] = 0.0
+            vec[base + 2] = 1.0
+        # Merge predicates per column (conjunction -> range intersection).
+        for pred in query.predicates:
+            t, c = pred.column.table, pred.column.column
+            i = idx.column_pos[(t, c)]
+            base = off + 4 * i
+            lo, hi = pred.to_range()
+            lo_n = 0.0 if lo == -np.inf else idx.normalize(t, c, lo)
+            hi_n = 1.0 if hi == np.inf else idx.normalize(t, c, hi)
+            if vec[base] == 0.0:
+                vec[base] = 1.0
+                vec[base + 1], vec[base + 2] = lo_n, hi_n
+            else:
+                vec[base + 1] = max(vec[base + 1], lo_n)
+                vec[base + 2] = min(vec[base + 2], hi_n)
+            if pred.op in (Op.EQ, Op.IN):
+                n_vals = 1 if pred.op is Op.EQ else len(pred.value)  # type: ignore[arg-type]
+                vec[base + 3] = min(n_vals / self._ndv[(t, c)], 1.0)
+        return vec
+
+    def featurize_batch(self, queries: list[Query]) -> np.ndarray:
+        return np.stack([self.featurize(q) for q in queries])
+
+
+class MSCNFeaturizer:
+    """Multi-set query featurization (MSCN / Robust-MSCN).
+
+    Parameters
+    ----------
+    db:
+        The database (provides schema indices and sample rows).
+    sample_size:
+        Rows in the per-table materialized sample used for bitmaps.
+    seed:
+        Sample-draw seed.
+    """
+
+    def __init__(self, db: Database, sample_size: int = 64, seed: int = 0) -> None:
+        self.db = db
+        self.index = _ColumnIndex(db)
+        self.sample_size = sample_size
+        rng = np.random.default_rng(seed)
+        self._samples: dict[str, dict[str, np.ndarray]] = {}
+        for t in self.index.tables:
+            table = db.table(t)
+            n = table.n_rows
+            take = rng.choice(n, size=min(sample_size, n), replace=False)
+            self._samples[t] = {
+                c: table.values(c)[take] for c in table.column_names
+            }
+
+    # -- per-set dims ------------------------------------------------------------
+
+    @property
+    def table_dim(self) -> int:
+        return len(self.index.tables) + self.sample_size
+
+    @property
+    def join_dim(self) -> int:
+        return max(len(self.index.join_keys), 1)
+
+    @property
+    def pred_dim(self) -> int:
+        return len(self.index.columns) + len(_OPS) + 2
+
+    def module_dims(self) -> dict[str, int]:
+        return {
+            "tables": self.table_dim,
+            "joins": self.join_dim,
+            "preds": self.pred_dim,
+        }
+
+    # -- featurization --------------------------------------------------------------
+
+    def _table_bitmap(self, query: Query, table: str) -> np.ndarray:
+        sample = self._samples[table]
+        n = next(iter(sample.values())).shape[0] if sample else 0
+        bits = np.ones(self.sample_size)
+        if n == 0:
+            return bits
+        mask = np.ones(n, dtype=bool)
+        for pred in query.predicates_on(table):
+            mask &= pred.evaluate(sample[pred.column.column])
+        bits[:n] = mask.astype(float)
+        if n < self.sample_size:
+            bits[n:] = 0.0
+        return bits
+
+    def featurize(
+        self,
+        query: Query,
+        *,
+        drop_bitmaps: bool = False,
+        mask_rate: float = 0.0,
+        rng: np.random.Generator | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Set-dict for one query.
+
+        ``drop_bitmaps`` replaces sample bitmaps with all-ones (Robust-MSCN
+        inference-time masking); ``mask_rate`` randomly drops predicate
+        elements (training-time augmentation).
+        """
+        idx = self.index
+        table_rows = []
+        for t in query.tables:
+            onehot = np.zeros(len(idx.tables))
+            onehot[idx.table_pos[t]] = 1.0
+            bitmap = (
+                np.ones(self.sample_size)
+                if drop_bitmaps
+                else self._table_bitmap(query, t)
+            )
+            table_rows.append(np.concatenate([onehot, bitmap]))
+        tables = np.stack(table_rows)
+
+        if query.joins:
+            join_rows = []
+            for j in query.joins:
+                onehot = np.zeros(self.join_dim)
+                onehot[idx.join_index(j)] = 1.0
+                join_rows.append(onehot)
+            joins = np.stack(join_rows)
+        else:
+            joins = np.zeros((0, self.join_dim))
+
+        pred_rows = []
+        preds: tuple[Predicate, ...] = query.predicates
+        if mask_rate > 0.0 and preds:
+            rng = rng if rng is not None else np.random.default_rng(0)
+            preds = tuple(p for p in preds if rng.random() >= mask_rate)
+        for pred in preds:
+            t, c = pred.column.table, pred.column.column
+            col_onehot = np.zeros(len(idx.columns))
+            col_onehot[idx.column_pos[(t, c)]] = 1.0
+            op_onehot = np.zeros(len(_OPS))
+            op_onehot[_OPS.index(pred.op)] = 1.0
+            lo, hi = pred.to_range()
+            lo_n = 0.0 if lo == -np.inf else idx.normalize(t, c, lo)
+            hi_n = 1.0 if hi == np.inf else idx.normalize(t, c, hi)
+            pred_rows.append(np.concatenate([col_onehot, op_onehot, [lo_n, hi_n]]))
+        preds_arr = (
+            np.stack(pred_rows) if pred_rows else np.zeros((0, self.pred_dim))
+        )
+        return {"tables": tables, "joins": joins, "preds": preds_arr}

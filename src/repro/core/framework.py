@@ -1,0 +1,134 @@
+"""The unified end-to-end learned-optimizer framework (paper §2.2).
+
+    "For the input query Q, a learned query optimizer first generates a set
+    of candidate plans using some plan exploration strategy.  Then, a
+    learned risk model is applied for plan selection."
+
+This module encodes that two-step structure directly:
+
+- :class:`PlanExplorationStrategy` -- produces candidate plans for a query
+  (hint-set steering for Bao, cardinality scaling for Lero, learned plan
+  search for Neo/Balsa, DP-with-model for LEON, leading hints for HyperQO);
+- :class:`RiskModel` -- scores candidates and learns from execution
+  feedback (pointwise latency regression for Neo/Bao, pairwise preference
+  for Lero/LEON);
+- :class:`LearnedOptimizer` -- the generic loop combining the two, with an
+  experience buffer and (re)training hooks.
+
+The concrete systems in :mod:`repro.e2e` are instantiations of this
+framework, which is also what the E11 ablation benchmark sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+from repro.engine.plans import Plan
+from repro.sql.query import Query
+
+__all__ = [
+    "CandidatePlan",
+    "PlanExplorationStrategy",
+    "RiskModel",
+    "Experience",
+    "LearnedOptimizer",
+]
+
+
+@dataclass(frozen=True)
+class CandidatePlan:
+    """A candidate produced by an exploration strategy.
+
+    ``source`` identifies how it was generated (e.g. the hint-set name or
+    the cardinality scale factor) -- kept for diagnostics and for arms-style
+    risk models that score sources rather than plans.
+    """
+
+    plan: Plan
+    source: str
+
+
+@runtime_checkable
+class PlanExplorationStrategy(Protocol):
+    """Generates the candidate set for a query."""
+
+    def candidates(self, query: Query) -> list[CandidatePlan]:
+        ...
+
+
+class RiskModel(Protocol):
+    """Scores candidates (lower = better) and learns from feedback."""
+
+    def scores(self, candidates: Sequence[CandidatePlan]) -> list[float]:
+        ...
+
+    def observe(self, candidate: CandidatePlan, latency_ms: float) -> None:
+        ...
+
+    def retrain(self) -> None:
+        ...
+
+
+@dataclass
+class Experience:
+    """One executed (query, plan, latency) triple."""
+
+    query: Query
+    candidate: CandidatePlan
+    latency_ms: float
+
+
+class LearnedOptimizer:
+    """Generic explore-then-select learned optimizer.
+
+    The subclasses / instantiations differ only in which strategy and risk
+    model they plug in.  ``retrain_every`` controls how often (in executed
+    queries) the risk model is refit from its accumulated observations;
+    ``0`` disables automatic retraining (callers invoke
+    :meth:`retrain` themselves).
+    """
+
+    def __init__(
+        self,
+        exploration: PlanExplorationStrategy,
+        risk_model: RiskModel,
+        *,
+        retrain_every: int = 25,
+        name: str = "learned",
+    ) -> None:
+        self.exploration = exploration
+        self.risk_model = risk_model
+        self.retrain_every = retrain_every
+        self.name = name
+        self.history: list[Experience] = []
+        self._since_retrain = 0
+
+    def choose_plan(self, query: Query) -> CandidatePlan:
+        """Explore candidates and pick the risk model's favourite."""
+        candidates = self.exploration.candidates(query)
+        if not candidates:
+            raise ValueError(f"exploration produced no candidates for {query}")
+        scores = self.risk_model.scores(candidates)
+        if len(scores) != len(candidates):
+            raise RuntimeError(
+                f"risk model returned {len(scores)} scores for "
+                f"{len(candidates)} candidates"
+            )
+        best = min(range(len(candidates)), key=lambda i: scores[i])
+        return candidates[best]
+
+    def record_feedback(
+        self, query: Query, candidate: CandidatePlan, latency_ms: float
+    ) -> None:
+        """Feed an execution outcome back into the risk model."""
+        self.history.append(Experience(query, candidate, latency_ms))
+        self.risk_model.observe(candidate, latency_ms)
+        self._since_retrain += 1
+        if self.retrain_every and self._since_retrain >= self.retrain_every:
+            self.risk_model.retrain()
+            self._since_retrain = 0
+
+    def retrain(self) -> None:
+        self.risk_model.retrain()
+        self._since_retrain = 0

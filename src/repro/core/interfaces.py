@@ -1,0 +1,125 @@
+"""Shared interfaces implemented across the repository.
+
+Every learned (and traditional) component plugs into the optimizer through
+one of these small protocols:
+
+- :class:`CardinalityEstimator` -- ``estimate(query) -> float`` for any SPJ
+  (sub-)query.  Implemented by the traditional histogram estimator and by
+  every method in :mod:`repro.cardest`.
+- :class:`CostEstimator` -- ``cost(plan) -> float`` (planner cost units).
+- :class:`LatencyPredictor` -- ``predict_latency(plan) -> float`` (ms);
+  the interface of learned cost models and risk models.
+
+Two generic wrappers give the planner its tuning knobs:
+
+- :class:`InjectedCardinalities` overrides specific sub-query cardinalities
+  (PilotScope's batch cardinality-injection interface, §3.2);
+- :class:`ScaledCardinalities` multiplies estimates by per-join-level
+  factors (Lero's plan-exploration knob [79]).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.engine.plans import Plan
+from repro.sql.query import Query
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostEstimator",
+    "LatencyPredictor",
+    "InjectedCardinalities",
+    "ScaledCardinalities",
+    "subquery_key",
+]
+
+
+@runtime_checkable
+class CardinalityEstimator(Protocol):
+    """Anything that can estimate SPJ sub-query cardinalities."""
+
+    def estimate(self, query: Query) -> float:
+        """Estimated COUNT(*) of the query (>= 0)."""
+        ...
+
+
+@runtime_checkable
+class CostEstimator(Protocol):
+    """Anything that can assign a planner cost to a physical plan."""
+
+    def cost(self, plan: Plan) -> float:
+        ...
+
+
+@runtime_checkable
+class LatencyPredictor(Protocol):
+    """Anything that can predict plan execution latency in milliseconds."""
+
+    def predict_latency(self, plan: Plan) -> float:
+        ...
+
+
+def subquery_key(query: Query) -> str:
+    """Canonical string key identifying a sub-query (tables + predicates +
+    joins).  Query canonicalizes member ordering, so ``to_sql`` is stable."""
+    return query.to_sql()
+
+
+class InjectedCardinalities:
+    """Estimator wrapper overriding chosen sub-queries with injected values.
+
+    This is PilotScope's cardinality-injection surface: a driver computes
+    cardinalities for all sub-queries of the current query in a batch and
+    pushes them into the planner; anything not injected falls back to the
+    wrapped estimator.
+    """
+
+    def __init__(
+        self,
+        base: CardinalityEstimator,
+        injected: dict[str, float] | None = None,
+    ) -> None:
+        self.base = base
+        self.injected: dict[str, float] = dict(injected or {})
+
+    def inject(self, query: Query, cardinality: float) -> None:
+        if cardinality < 0:
+            raise ValueError(f"cardinality must be >= 0, got {cardinality}")
+        self.injected[subquery_key(query)] = float(cardinality)
+
+    def inject_batch(self, pairs: dict[str, float]) -> None:
+        for key, value in pairs.items():
+            if value < 0:
+                raise ValueError(f"cardinality must be >= 0, got {value} for {key}")
+        self.injected.update(pairs)
+
+    def clear(self) -> None:
+        self.injected.clear()
+
+    def estimate(self, query: Query) -> float:
+        hit = self.injected.get(subquery_key(query))
+        if hit is not None:
+            return hit
+        return self.base.estimate(query)
+
+
+class ScaledCardinalities:
+    """Estimator wrapper scaling estimates by join count (Lero's knob).
+
+    ``factor ** max(n_tables - 1, 1)`` multiplies the base estimate, so a
+    factor of 10 makes every join look 10x larger per level -- steering the
+    planner toward plans that are robust to underestimation, and vice versa.
+    Single-table estimates are scaled once (they still influence scan and
+    access-path choice).
+    """
+
+    def __init__(self, base: CardinalityEstimator, factor: float) -> None:
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        self.base = base
+        self.factor = factor
+
+    def estimate(self, query: Query) -> float:
+        power = max(query.n_tables - 1, 1)
+        return self.base.estimate(query) * self.factor**power

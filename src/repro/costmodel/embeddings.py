@@ -1,0 +1,130 @@
+"""Plan-embedding models (Saturn [34], QueryFormer [76] -- lite).
+
+Saturn compresses query plans into vectors with a traversal-based
+autoencoder and shows the compressed vectors distinguish query types for
+downstream tasks; QueryFormer learns transformer embeddings of plans
+reused across query-optimization tasks.
+
+:class:`PlanAutoencoder` realizes the shared idea at this repo's scale: a
+plan is serialized by pre-order traversal into a fixed-length
+feature sequence (padded/truncated), an MLP encoder compresses it to a
+small latent vector, and a decoder reconstructs the sequence; training
+minimizes reconstruction error.  The latent vectors cluster plans by
+structural type (join count, operator mix) without any labels, which the
+tests verify, and can feed any downstream model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.features import PlanFeaturizer, plan_to_tree_arrays
+from repro.engine.plans import Plan
+from repro.ml.nn import MLP, Adam, Dense, ReLU, Sequential
+
+__all__ = ["PlanAutoencoder"]
+
+
+class PlanAutoencoder:
+    """Traversal-sequence autoencoder over plans (Saturn-lite)."""
+
+    name = "plan_autoencoder"
+
+    def __init__(
+        self,
+        featurizer: PlanFeaturizer,
+        *,
+        max_nodes: int = 12,
+        latent_dim: int = 8,
+        hidden: int = 64,
+        seed: int = 0,
+    ) -> None:
+        self.featurizer = featurizer
+        self.max_nodes = max_nodes
+        self.latent_dim = latent_dim
+        self._in_dim = max_nodes * featurizer.node_dim
+        rng = np.random.default_rng(seed)
+        self.encoder = Sequential(
+            [
+                Dense(self._in_dim, hidden, rng=rng),
+                ReLU(),
+                Dense(hidden, latent_dim, init="xavier", rng=rng),
+            ]
+        )
+        self.decoder = Sequential(
+            [
+                Dense(latent_dim, hidden, rng=rng),
+                ReLU(),
+                Dense(hidden, self._in_dim, init="xavier", rng=rng),
+            ]
+        )
+        self._rng = rng
+        self._trained = False
+
+    # -- serialization -------------------------------------------------------------
+
+    def _serialize(self, plan: Plan) -> np.ndarray:
+        feats, _, _ = plan_to_tree_arrays(plan, self.featurizer)
+        out = np.zeros((self.max_nodes, self.featurizer.node_dim))
+        n = min(feats.shape[0], self.max_nodes)
+        out[:n] = feats[:n]
+        return out.reshape(-1)
+
+    # -- training ----------------------------------------------------------------------
+
+    def fit(
+        self,
+        plans: list[Plan],
+        *,
+        epochs: int = 60,
+        lr: float = 2e-3,
+        batch_size: int = 32,
+    ) -> list[float]:
+        if not plans:
+            raise ValueError("empty training corpus")
+        x = np.stack([self._serialize(p) for p in plans])
+        params = self.encoder.parameters() + self.decoder.parameters()
+        opt = Adam(lr=lr)
+        losses: list[float] = []
+        n = x.shape[0]
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            total, batches = 0.0, 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                z = self.encoder.forward(x[idx], training=True)
+                recon = self.decoder.forward(z, training=True)
+                diff = recon - x[idx]
+                loss = float((diff**2).mean())
+                grad = 2.0 * diff / max(diff.size, 1)
+                grad_z = self.decoder.backward(grad)
+                self.encoder.backward(grad_z)
+                opt.step(params, self.encoder.gradients() + self.decoder.gradients())
+                total += loss
+                batches += 1
+            losses.append(total / max(batches, 1))
+        self._trained = True
+        return losses
+
+    # -- inference -------------------------------------------------------------------
+
+    def embed(self, plan: Plan) -> np.ndarray:
+        if not self._trained:
+            raise RuntimeError("embed called before fit")
+        x = self._serialize(plan)[None, :]
+        return self.encoder.forward(x, training=False)[0]
+
+    def embed_batch(self, plans: list[Plan]) -> np.ndarray:
+        if not plans:
+            return np.zeros((0, self.latent_dim))
+        return np.stack([self.embed(p) for p in plans])
+
+    def reconstruction_error(self, plan: Plan) -> float:
+        """MSE of reconstructing the plan -- an OOD score for plans unlike
+        anything seen in training (usable as a coarse risk signal)."""
+        if not self._trained:
+            raise RuntimeError("reconstruction_error called before fit")
+        x = self._serialize(plan)[None, :]
+        z = self.encoder.forward(x, training=False)
+        recon = self.decoder.forward(z, training=False)
+        return float(((recon - x) ** 2).mean())

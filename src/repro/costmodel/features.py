@@ -1,0 +1,183 @@
+"""Plan featurization shared by learned cost models and risk models.
+
+Three representations:
+
+- **tree arrays** (:func:`plan_to_tree_arrays`): per-node feature vectors
+  plus left/right child indices, consumed by tree-convolution and
+  tree-recurrent models;
+- **flat vectors** (:meth:`PlanFeaturizer.flat`): operator counts +
+  cardinality aggregates for linear/GBDT models;
+- **transferable vectors** (:meth:`PlanFeaturizer.transferable_node`):
+  per-node features that avoid table identity entirely (zero-shot cost
+  models [16] train on one database and predict on another).
+
+Node features use the *optimizer's estimated* cardinalities (what a
+deployed model would see at plan time), obtained from any
+:class:`repro.core.CardinalityEstimator`.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.interfaces import CardinalityEstimator
+from repro.engine.plans import JoinMethod, JoinNode, Plan, PlanNode, ScanMethod, ScanNode
+from repro.optimizer.traditional import TraditionalCardinalityEstimator
+from repro.storage.catalog import Database
+
+__all__ = ["PlanFeaturizer", "plan_to_tree_arrays"]
+
+_OPS = [
+    ("seq", ScanMethod.SEQ),
+    ("index", ScanMethod.INDEX),
+    ("hash", JoinMethod.HASH),
+    ("nlj", JoinMethod.NESTED_LOOP),
+    ("merge", JoinMethod.MERGE),
+]
+
+
+class PlanFeaturizer:
+    """Featurizes plans against one database + estimator."""
+
+    def __init__(
+        self,
+        db: Database,
+        estimator: CardinalityEstimator | None = None,
+    ) -> None:
+        self.db = db
+        self.estimator = (
+            estimator
+            if estimator is not None
+            else TraditionalCardinalityEstimator(db)
+        )
+        self.tables = list(db.table_names)
+        self._table_pos = {t: i for i, t in enumerate(self.tables)}
+        self._log_total = math.log1p(max(db.total_rows(), 1))
+
+    # -- per-node -----------------------------------------------------------------
+
+    @property
+    def node_dim(self) -> int:
+        return len(_OPS) + len(self.tables) + 3
+
+    def _op_onehot(self, node: PlanNode) -> np.ndarray:
+        onehot = np.zeros(len(_OPS))
+        method = node.method  # type: ignore[attr-defined]
+        for i, (_, m) in enumerate(_OPS):
+            if m is method:
+                onehot[i] = 1.0
+        return onehot
+
+    def node_features(self, plan: Plan, node: PlanNode) -> np.ndarray:
+        est_card = max(self.estimator.estimate(plan.node_subquery(node)), 0.0)
+        table_onehot = np.zeros(len(self.tables))
+        n_preds = 0.0
+        if isinstance(node, ScanNode):
+            table_onehot[self._table_pos[node.table]] = 1.0
+            n_preds = len(node.predicates) / 4.0
+        extra = np.array(
+            [
+                math.log1p(est_card) / self._log_total,
+                len(node.tables) / max(len(self.tables), 1),
+                n_preds,
+            ]
+        )
+        return np.concatenate([self._op_onehot(node), table_onehot, extra])
+
+    @property
+    def transferable_dim(self) -> int:
+        return len(_OPS) + 4
+
+    def transferable_node(self, plan: Plan, node: PlanNode) -> np.ndarray:
+        """Database-agnostic node features (zero-shot style [16])."""
+        est_card = max(self.estimator.estimate(plan.node_subquery(node)), 0.0)
+        if isinstance(node, ScanNode):
+            base = self.db.table(node.table).n_rows
+            in_card = float(base)
+            n_preds = len(node.predicates) / 4.0
+        else:
+            assert isinstance(node, JoinNode)
+            left = max(self.estimator.estimate(plan.node_subquery(node.left)), 0.0)
+            right = max(self.estimator.estimate(plan.node_subquery(node.right)), 0.0)
+            in_card = left + right
+            n_preds = 0.0
+        sel = est_card / max(in_card, 1.0)
+        extra = np.array(
+            [
+                math.log1p(est_card) / 20.0,
+                math.log1p(in_card) / 20.0,
+                min(sel, 2.0),
+                n_preds,
+            ]
+        )
+        return np.concatenate([self._op_onehot(node), extra])
+
+    # -- flat ---------------------------------------------------------------------
+
+    @property
+    def flat_dim(self) -> int:
+        return len(_OPS) + 5
+
+    def flat(self, plan: Plan) -> np.ndarray:
+        counts = np.zeros(len(_OPS))
+        log_cards = []
+        for node in plan.walk():
+            counts += self._op_onehot(node)
+            est = max(self.estimator.estimate(plan.node_subquery(node)), 0.0)
+            log_cards.append(math.log1p(est))
+        log_cards_arr = np.array(log_cards)
+        depth = _tree_depth(plan.root)
+        extra = np.array(
+            [
+                log_cards_arr.sum() / 20.0,
+                log_cards_arr.max() / 20.0,
+                len(plan.query.tables) / max(len(self.tables), 1),
+                depth / 8.0,
+                len(plan.query.predicates) / 8.0,
+            ]
+        )
+        return np.concatenate([counts, extra])
+
+    def flat_batch(self, plans: list[Plan]) -> np.ndarray:
+        return np.stack([self.flat(p) for p in plans])
+
+
+def _tree_depth(node: PlanNode) -> int:
+    if isinstance(node, ScanNode):
+        return 1
+    assert isinstance(node, JoinNode)
+    return 1 + max(_tree_depth(node.left), _tree_depth(node.right))
+
+
+def plan_to_tree_arrays(
+    plan: Plan,
+    featurizer: PlanFeaturizer,
+    *,
+    transferable: bool = False,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Flatten a plan to ``(features, left, right)`` arrays (pre-order).
+
+    Child index ``-1`` marks leaves, matching
+    :class:`repro.ml.treeconv.PlanTreeBatch` expectations.
+    """
+    features: list[np.ndarray] = []
+    left: list[int] = []
+    right: list[int] = []
+
+    def visit(node: PlanNode) -> int:
+        my_index = len(features)
+        if transferable:
+            features.append(featurizer.transferable_node(plan, node))
+        else:
+            features.append(featurizer.node_features(plan, node))
+        left.append(-1)
+        right.append(-1)
+        if isinstance(node, JoinNode):
+            left[my_index] = visit(node.left)
+            right[my_index] = visit(node.right)
+        return my_index
+
+    visit(plan.root)
+    return np.stack(features), np.array(left), np.array(right)

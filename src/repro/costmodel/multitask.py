@@ -1,0 +1,178 @@
+"""MLMTF-style unified transferable model [66].
+
+"A pre-trained model to represent shared knowledge across data and tasks,
+fine-tuned for a specific data[base]; upon it several small models are
+learned together using multi-task learning for each task: cardinality
+estimation, cost model and join order search."
+
+:class:`UnifiedTransferableModel` realizes that recipe at this repo's
+scale: one shared tree-convolution trunk over plan trees is pre-trained
+with a *joint* loss on two tasks (log-latency and log-cardinality of every
+plan node subtree's root); per-task linear heads sit on the shared plan
+embedding.  :meth:`fine_tune` freezes the trunk and refits only a task
+head from a handful of examples -- the transfer step that makes the model
+cheap to specialize to a new workload.
+
+The same object therefore serves as:
+- a cost model (``predict_latency``),
+- a cardinality estimator over plans (``predict_cardinality``),
+- a join-order value function (``value``: predicted latency, usable by
+  the value-guided searchers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.costmodel.features import PlanFeaturizer, plan_to_tree_arrays
+from repro.engine.plans import Plan
+from repro.ml.nn import Adam
+from repro.ml.treeconv import PlanTreeBatch, TreeConvNet
+
+__all__ = ["UnifiedTransferableModel"]
+
+_TASKS = ("latency", "cardinality")
+
+
+class UnifiedTransferableModel:
+    """Shared tree-conv trunk + per-task heads, jointly pre-trained."""
+
+    name = "mlmtf"
+
+    def __init__(
+        self,
+        featurizer: PlanFeaturizer,
+        *,
+        conv_channels: tuple[int, ...] = (48, 48),
+        seed: int = 0,
+    ) -> None:
+        self.featurizer = featurizer
+        # out_dim = one output per task; the trunk is shared by design.
+        self.net = TreeConvNet(
+            featurizer.node_dim,
+            conv_channels=conv_channels,
+            head_hidden=(24,),
+            out_dim=len(_TASKS),
+            seed=seed,
+        )
+        self._trained = False
+        self._rng = np.random.default_rng(seed)
+
+    # -- pre-training ----------------------------------------------------------------
+
+    def pretrain(
+        self,
+        plans: list[Plan],
+        latencies_ms: np.ndarray,
+        cardinalities: np.ndarray,
+        *,
+        epochs: int = 50,
+        lr: float = 1e-3,
+        batch_size: int = 32,
+    ) -> list[float]:
+        """Joint multi-task training on (plan, latency, cardinality)."""
+        if not (len(plans) == len(latencies_ms) == len(cardinalities)):
+            raise ValueError("plans/latencies/cardinalities must align")
+        if not plans:
+            raise ValueError("empty pre-training corpus")
+        trees = [plan_to_tree_arrays(p, self.featurizer) for p in plans]
+        y = np.column_stack(
+            [
+                np.log1p(np.maximum(np.asarray(latencies_ms, float), 0.0)),
+                np.log1p(np.maximum(np.asarray(cardinalities, float), 0.0)),
+            ]
+        )
+        opt = Adam(lr=lr)
+        losses: list[float] = []
+        n = len(trees)
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            total, batches = 0.0, 0
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                batch = PlanTreeBatch.from_trees([trees[i] for i in idx])
+                pred = self.net.forward(batch)
+                diff = pred - y[idx]
+                loss = float((diff**2).mean())
+                grad = 2.0 * diff / max(diff.size, 1)
+                self.net._backward(batch, grad)
+                opt.step(self.net.parameters(), self.net.gradients())
+                total += loss
+                batches += 1
+            losses.append(total / max(batches, 1))
+        self._trained = True
+        return losses
+
+    # -- fine-tuning -----------------------------------------------------------------
+
+    def fine_tune(
+        self,
+        task: str,
+        plans: list[Plan],
+        targets: np.ndarray,
+        *,
+        epochs: int = 40,
+        lr: float = 2e-3,
+    ) -> None:
+        """Refit only the head (trunk frozen) for one task on new data.
+
+        This is the transfer step: the shared representation stays, the
+        small task model adapts.
+        """
+        col = self._task_index(task)
+        if not self._trained:
+            raise RuntimeError("fine_tune called before pretrain")
+        if len(plans) != len(targets):
+            raise ValueError("plans/targets must align")
+        trees = [plan_to_tree_arrays(p, self.featurizer) for p in plans]
+        y = np.log1p(np.maximum(np.asarray(targets, float), 0.0))
+        # Head parameters = everything after the conv trunk.
+        head_params: list[np.ndarray] = []
+        for layer in self.net.head:
+            head_params.extend(layer.parameters())
+        opt = Adam(lr=lr)
+        n = len(trees)
+        for _ in range(epochs):
+            order = self._rng.permutation(n)
+            for start in range(0, n, 32):
+                idx = order[start : start + 32]
+                batch = PlanTreeBatch.from_trees([trees[i] for i in idx])
+                pred = self.net.forward(batch)
+                grad = np.zeros_like(pred)
+                grad[:, col] = 2.0 * (pred[:, col] - y[idx]) / max(idx.size, 1)
+                self.net._backward(batch, grad)
+                head_grads: list[np.ndarray] = []
+                for layer in self.net.head:
+                    head_grads.extend(layer.gradients())
+                opt.step(head_params, head_grads)
+
+    # -- task predictions ---------------------------------------------------------------
+
+    @staticmethod
+    def _task_index(task: str) -> int:
+        try:
+            return _TASKS.index(task)
+        except ValueError:
+            raise ValueError(f"unknown task {task!r}; valid: {_TASKS}") from None
+
+    def _predict(self, plan: Plan) -> np.ndarray:
+        if not self._trained:
+            raise RuntimeError("predict called before pretrain")
+        tree = plan_to_tree_arrays(plan, self.featurizer)
+        out = self.net.forward(PlanTreeBatch.from_trees([tree]))
+        return out[0]
+
+    def predict_latency(self, plan: Plan) -> float:
+        return float(max(np.expm1(self._predict(plan)[0]), 0.0))
+
+    def predict_cardinality(self, plan: Plan) -> float:
+        return float(max(np.expm1(self._predict(plan)[1]), 0.0))
+
+    def value(self, plan: Plan) -> float:
+        """Join-order search value: lower predicted latency = better."""
+        return float(self._predict(plan)[0])
+
+    def embed(self, plan: Plan) -> np.ndarray:
+        """The shared-representation plan embedding."""
+        tree = plan_to_tree_arrays(plan, self.featurizer)
+        return self.net.embed(PlanTreeBatch.from_trees([tree]))[0]

@@ -1,0 +1,61 @@
+"""End-to-end learned query optimizers (paper §2.2).
+
+All six systems instantiate the unified framework of
+:mod:`repro.core.framework` -- a plan exploration strategy plus a learned
+risk model:
+
+=============  ===========================================  =========================
+System         Exploration                                  Risk model
+=============  ===========================================  =========================
+Bao [37]       hint-set steering of the native optimizer    tree-conv latency + Thompson sampling
+Lero [79]      cardinality-scaling knob                     pairwise plan comparator
+Neo [38]       value-guided best-first plan search          tree-conv value network (expert-bootstrapped)
+Balsa [69]     value-guided beam search                     tree-conv value network (cost-model-bootstrapped)
+LEON [4]       native DP keeping top-k per subset           pairwise comparison blended with cost
+HyperQO [72]   leading-table hints                          ensemble latency model + variance filter
+=============  ===========================================  =========================
+
+Exploration strategies live in :mod:`repro.e2e.exploration`, risk models in
+:mod:`repro.e2e.risk_models`; the E11 benchmark sweeps their cross product.
+:class:`repro.e2e.loop.OptimizationLoop` drives any of them against the
+execution simulator with feedback.
+"""
+
+from repro.e2e.exploration import (
+    CardinalityScalingExploration,
+    HintSetExploration,
+    LeadingTableExploration,
+)
+from repro.e2e.risk_models import (
+    EnsembleLatencyModel,
+    PairwisePlanComparator,
+    TreeConvLatencyModel,
+)
+from repro.e2e.bao import BaoOptimizer
+from repro.e2e.lero import LeroOptimizer
+from repro.e2e.neo import NeoOptimizer
+from repro.e2e.balsa import BalsaOptimizer
+from repro.e2e.leon import LeonOptimizer
+from repro.e2e.hyperqo import HyperQOOptimizer
+from repro.e2e.autosteer import AutoSteerOptimizer
+from repro.e2e.loger import LogerOptimizer
+from repro.e2e.loop import EpisodeResult, OptimizationLoop
+
+__all__ = [
+    "HintSetExploration",
+    "CardinalityScalingExploration",
+    "LeadingTableExploration",
+    "TreeConvLatencyModel",
+    "PairwisePlanComparator",
+    "EnsembleLatencyModel",
+    "BaoOptimizer",
+    "LeroOptimizer",
+    "NeoOptimizer",
+    "BalsaOptimizer",
+    "LeonOptimizer",
+    "HyperQOOptimizer",
+    "AutoSteerOptimizer",
+    "LogerOptimizer",
+    "OptimizationLoop",
+    "EpisodeResult",
+]

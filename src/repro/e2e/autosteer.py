@@ -1,0 +1,76 @@
+"""AutoSteer [1]: Bao with automated hint-set discovery.
+
+AutoSteer removes Bao's hand-curated arm list: it probes which individual
+operator switches actually *change* the optimizer's plan on a probe
+workload, then builds arms from the impactful switches and their pairwise
+combinations -- minimizing integration effort for new systems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.e2e.bao import BaoOptimizer
+from repro.optimizer.hints import HintSet
+from repro.optimizer.planner import Optimizer
+from repro.sql.query import Query
+
+__all__ = ["discover_hint_sets", "AutoSteerOptimizer"]
+
+
+def discover_hint_sets(
+    optimizer: Optimizer, probe_queries: list[Query], max_arms: int = 12
+) -> list[HintSet]:
+    """Find operator switches that change plans, build arms from them.
+
+    A switch is *impactful* when disabling it alters the plan signature of
+    at least one probe query.  Arms = default + each impactful single
+    switch + each valid pair of impactful switches, capped at ``max_arms``.
+    """
+    if not probe_queries:
+        raise ValueError("need at least one probe query")
+    flag_names = [f.name for f in fields(HintSet)]
+    defaults = [optimizer.plan(q).signature() for q in probe_queries]
+
+    impactful: list[str] = []
+    for flag in flag_names:
+        try:
+            hint = HintSet(**{flag: False})
+        except ValueError:
+            continue  # switching this off alone is invalid
+        changed = any(
+            optimizer.plan(q, hints=hint).signature() != sig
+            for q, sig in zip(probe_queries, defaults)
+        )
+        if changed:
+            impactful.append(flag)
+
+    arms: list[HintSet] = [HintSet.default()]
+    for flag in impactful:
+        arms.append(HintSet(**{flag: False}))
+    for i in range(len(impactful)):
+        for j in range(i + 1, len(impactful)):
+            if len(arms) >= max_arms:
+                break
+            try:
+                arms.append(HintSet(**{impactful[i]: False, impactful[j]: False}))
+            except ValueError:
+                continue
+    return arms[:max_arms]
+
+
+class AutoSteerOptimizer(BaoOptimizer):
+    """Bao with arms discovered automatically from a probe workload."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        probe_queries: list[Query],
+        *,
+        max_arms: int = 12,
+        **bao_kwargs,
+    ) -> None:
+        arms = discover_hint_sets(optimizer, probe_queries, max_arms=max_arms)
+        super().__init__(optimizer, arms=arms, **bao_kwargs)
+        self.name = "autosteer"
+        self.discovered_arms = arms

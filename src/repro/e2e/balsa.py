@@ -1,0 +1,77 @@
+"""Balsa [69]: learning a query optimizer *without* expert demonstrations.
+
+Balsa's difference from Neo is the bootstrap: instead of imitating the
+native optimizer's executed plans, it first trains its value network in
+*simulation* -- against the (cheap, imperfect) cost model -- and only then
+fine-tunes on real execution latencies.  Search is beam search rather than
+best-first.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.framework import CandidatePlan
+from repro.e2e.neo import _ValueGuidedOptimizer
+from repro.joinorder.env import JoinOrderEnv, plan_from_order
+from repro.optimizer.planner import Optimizer
+from repro.sql.query import Query
+
+__all__ = ["BalsaOptimizer"]
+
+
+class BalsaOptimizer(_ValueGuidedOptimizer):
+    """Balsa: beam search + sim-to-real bootstrapping."""
+
+    name = "balsa"
+
+    def __init__(
+        self, optimizer: Optimizer, *, beam_width: int = 4, seed: int = 0, **kwargs
+    ) -> None:
+        super().__init__(optimizer, beam_width=beam_width, seed=seed, **kwargs)
+        self._rng = np.random.default_rng(seed + 31)
+
+    def bootstrap_from_simulation(
+        self, queries: list[Query], episodes_per_query: int = 4
+    ) -> None:
+        """Phase 1: train the value network against the cost model only.
+
+        Random join orders are costed (never executed); the resulting value
+        network is wrong in exactly the ways the cost model is wrong, which
+        the real-execution fine-tuning phase then corrects -- Balsa's
+        sim-to-real recipe.
+        """
+        for _ in range(episodes_per_query):
+            for query in queries:
+                if query.n_tables < 2:
+                    continue
+                env = JoinOrderEnv(query)
+                while not env.done:
+                    actions = env.valid_actions()
+                    env.step(actions[self._rng.integers(len(actions))])
+                plan = plan_from_order(query, env.prefix, self.optimizer.coster)
+                pseudo_latency = max(self.optimizer.cost(plan), 0.0) * 0.05
+                target = math.log1p(pseudo_latency)
+                from repro.costmodel.features import plan_to_tree_arrays
+
+                self._trees.append(plan_to_tree_arrays(plan, self.featurizer))
+                self._targets.append(target)
+                order = plan.join_order()
+                for k in range(1, len(order)):
+                    prefix = order[:k]
+                    if not query.subquery(prefix).is_connected():
+                        break
+                    self._trees.append(self._partial_tree(query, prefix))
+                    self._targets.append(target)
+        self.retrain()
+
+    def choose_plan(self, query: Query) -> CandidatePlan:
+        if not self._trained:
+            # Balsa has no expert: before any training it can only guess.
+            # We keep the safe default (native plan) as its untrained
+            # fallback, since executing a random plan on a production
+            # system is not a realistic deployment mode.
+            return CandidatePlan(plan=self.optimizer.plan(query), source="default")
+        return CandidatePlan(plan=self._search_plan(query), source="search")

@@ -1,0 +1,38 @@
+"""HyperQO [72]: leading hints + ensemble prediction + variance filtering."""
+
+from __future__ import annotations
+
+from repro.core.framework import LearnedOptimizer
+from repro.costmodel.features import PlanFeaturizer
+from repro.e2e.exploration import LeadingTableExploration
+from repro.e2e.risk_models import EnsembleLatencyModel
+from repro.optimizer.planner import Optimizer
+
+__all__ = ["HyperQOOptimizer"]
+
+
+class HyperQOOptimizer(LearnedOptimizer):
+    """HyperQO: leading-table hints explore join orders; a multi-head
+    latency ensemble scores candidates and *filters out* high-variance
+    (risky) plans before picking the best average -- the hybrid
+    cost-based/learning-based selection of [72]."""
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        *,
+        max_leading: int = 6,
+        variance_quantile: float = 0.7,
+        retrain_every: int = 25,
+        seed: int = 0,
+    ) -> None:
+        featurizer = PlanFeaturizer(optimizer.db, optimizer.estimator)
+        super().__init__(
+            exploration=LeadingTableExploration(optimizer, max_leading=max_leading),
+            risk_model=EnsembleLatencyModel(
+                featurizer, variance_quantile=variance_quantile, seed=seed
+            ),
+            retrain_every=retrain_every,
+            name="hyperqo",
+        )
+        self.optimizer = optimizer

@@ -1,0 +1,116 @@
+"""The execute-and-learn loop driving any learned optimizer.
+
+:class:`OptimizationLoop` runs a workload through a learned optimizer
+against the execution simulator, feeding latencies back after every query
+-- the deployment loop PilotScope's drivers implement, factored out so the
+benchmarks, the regression-elimination plugins and the middleware all
+share it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.simulator import ExecutionSimulator
+from repro.optimizer.planner import Optimizer
+from repro.sql.query import Query
+
+__all__ = ["EpisodeResult", "OptimizationLoop"]
+
+
+@dataclass(frozen=True)
+class EpisodeResult:
+    """Outcome of one query through the loop."""
+
+    query: Query
+    source: str  # which candidate source won (e.g. hint-set name)
+    latency_ms: float
+    native_latency_ms: float
+
+    @property
+    def speedup(self) -> float:
+        """Native / learned latency (>1 means the learned plan won)."""
+        return self.native_latency_ms / max(self.latency_ms, 1e-9)
+
+    @property
+    def regression(self) -> float:
+        """Learned / native latency (>1 means a regression)."""
+        return self.latency_ms / max(self.native_latency_ms, 1e-9)
+
+
+class OptimizationLoop:
+    """Drives a learned optimizer with execution feedback.
+
+    ``learned`` must expose ``choose_plan(query)`` and
+    ``record_feedback(query, candidate, latency_ms)`` (the
+    :class:`repro.core.framework.LearnedOptimizer` surface).
+    """
+
+    def __init__(
+        self,
+        learned,
+        simulator: ExecutionSimulator,
+        native: Optimizer,
+        *,
+        guard=None,
+    ) -> None:
+        """``guard`` optionally wraps plan selection (see
+        :mod:`repro.regression`): it is called as
+        ``guard(query, candidate, native_plan) -> candidate`` and may swap
+        in a safer plan."""
+        self.learned = learned
+        self.simulator = simulator
+        self.native = native
+        self.guard = guard
+        self.results: list[EpisodeResult] = []
+
+    def run_query(self, query: Query) -> EpisodeResult:
+        candidate = self.learned.choose_plan(query)
+        native_plan = self.native.plan(query)
+        if self.guard is not None:
+            candidate = self.guard(query, candidate, native_plan)
+        latency = self.simulator.execute(candidate.plan).latency_ms
+        native_latency = self.simulator.execute(native_plan).latency_ms
+        self.learned.record_feedback(query, candidate, latency)
+        if self.guard is not None and hasattr(self.guard, "record"):
+            self.guard.record(query, candidate, latency, native_latency)
+            if hasattr(self.guard, "record_native") and (
+                candidate.plan.signature() != native_plan.signature()
+            ):
+                self.guard.record_native(query, native_plan, native_latency)
+        result = EpisodeResult(
+            query=query,
+            source=candidate.source,
+            latency_ms=latency,
+            native_latency_ms=native_latency,
+        )
+        self.results.append(result)
+        return result
+
+    def run(self, queries: list[Query]) -> list[EpisodeResult]:
+        return [self.run_query(q) for q in queries]
+
+    # -- summaries ---------------------------------------------------------------
+
+    def summary(self, tail: int | None = None) -> dict[str, float]:
+        """Aggregate workload statistics (optionally over the last ``tail``
+        queries, i.e. after warm-up)."""
+        results = self.results[-tail:] if tail else self.results
+        if not results:
+            raise ValueError("loop has not executed any query")
+        lat = np.array([r.latency_ms for r in results])
+        nat = np.array([r.native_latency_ms for r in results])
+        reg = lat / np.maximum(nat, 1e-9)
+        return {
+            "total_latency_ms": float(lat.sum()),
+            "native_total_latency_ms": float(nat.sum()),
+            "workload_speedup": float(nat.sum() / max(lat.sum(), 1e-9)),
+            "p50_latency_ms": float(np.percentile(lat, 50)),
+            "p99_latency_ms": float(np.percentile(lat, 99)),
+            "native_p99_latency_ms": float(np.percentile(nat, 99)),
+            "n_regressions": int((reg > 1.1).sum()),
+            "worst_regression": float(reg.max()),
+            "n_queries": len(results),
+        }

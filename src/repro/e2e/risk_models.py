@@ -1,0 +1,266 @@
+"""Risk models (the second half of the §2.2 framework).
+
+- :class:`TreeConvLatencyModel` -- pointwise latency regression with a
+  bootstrap ensemble; Thompson sampling over members gives Bao's
+  exploration behaviour [37];
+- :class:`PairwisePlanComparator` -- Lero/LEON-style learning-to-rank:
+  a tree-conv scorer trained with BCE on same-query plan pairs [79, 4];
+- :class:`EnsembleLatencyModel` -- HyperQO's multi-head predictor with a
+  variance filter over candidates [72].
+
+All satisfy :class:`repro.core.framework.RiskModel` (``scores`` /
+``observe`` / ``retrain``).  Until the first retrain every model falls
+back to preferring the candidate whose source is ``"default"`` -- learned
+optimizers ship the native plan during warm-up, which is what keeps their
+cold-start behaviour safe.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.framework import CandidatePlan
+from repro.costmodel.features import PlanFeaturizer, plan_to_tree_arrays
+from repro.ml.nn import Adam
+from repro.ml.treeconv import PlanTreeBatch, TreeConvNet
+
+__all__ = [
+    "TreeConvLatencyModel",
+    "PairwisePlanComparator",
+    "EnsembleLatencyModel",
+]
+
+
+def _default_scores(candidates: Sequence[CandidatePlan]) -> list[float]:
+    """Warm-up scoring: the native ('default') candidate wins."""
+    return [0.0 if c.source == "default" else 1.0 for c in candidates]
+
+
+class TreeConvLatencyModel:
+    """Pointwise tree-conv latency model with optional Thompson sampling."""
+
+    def __init__(
+        self,
+        featurizer: PlanFeaturizer,
+        *,
+        n_members: int = 3,
+        thompson: bool = True,
+        min_observations: int = 20,
+        epochs: int = 30,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        self.featurizer = featurizer
+        self.thompson = thompson
+        self.min_observations = min_observations
+        self.epochs = epochs
+        self.lr = lr
+        self._members = [
+            TreeConvNet(
+                featurizer.node_dim,
+                conv_channels=(32, 32),
+                head_hidden=(16,),
+                seed=seed + i,
+            )
+            for i in range(max(n_members, 1))
+        ]
+        self._rng = np.random.default_rng(seed + 100)
+        self._trees: list[tuple] = []
+        self._latencies: list[float] = []
+        self._trained = False
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._latencies)
+
+    def observe(self, candidate: CandidatePlan, latency_ms: float) -> None:
+        self._trees.append(plan_to_tree_arrays(candidate.plan, self.featurizer))
+        self._latencies.append(float(latency_ms))
+
+    def retrain(self) -> None:
+        n = len(self._latencies)
+        if n < self.min_observations:
+            return
+        y = np.log1p(np.maximum(np.array(self._latencies), 0.0))
+        for i, member in enumerate(self._members):
+            # Bootstrap resample per member (Bao's approximate posterior).
+            idx = self._rng.integers(0, n, size=n)
+            member.fit(
+                [self._trees[j] for j in idx],
+                y[idx],
+                epochs=self.epochs,
+                lr=self.lr,
+                seed=i,
+            )
+        self._trained = True
+
+    def predict(self, candidates: Sequence[CandidatePlan]) -> np.ndarray:
+        """Mean predicted latency (ms) across ensemble members."""
+        trees = [plan_to_tree_arrays(c.plan, self.featurizer) for c in candidates]
+        preds = np.stack([m.predict(trees) for m in self._members])
+        return np.maximum(np.expm1(preds.mean(axis=0)), 0.0)
+
+    def scores(self, candidates: Sequence[CandidatePlan]) -> list[float]:
+        if not self._trained:
+            return _default_scores(candidates)
+        trees = [plan_to_tree_arrays(c.plan, self.featurizer) for c in candidates]
+        if self.thompson:
+            member = self._members[self._rng.integers(len(self._members))]
+            return list(member.predict(trees))
+        preds = np.stack([m.predict(trees) for m in self._members])
+        return list(preds.mean(axis=0))
+
+
+class PairwisePlanComparator:
+    """Learning-to-rank plan comparator (Lero [79] / LEON [4]).
+
+    A single tree-conv scorer ``s(plan)``; ``P(a better than b) =
+    sigmoid(s(b) - s(a))`` (lower score = faster plan) trained with BCE on
+    pairs of executed plans *for the same query*.  Candidate scores are the
+    raw ``s`` values -- ranking by ``s`` is equivalent to counting pairwise
+    wins under this model.
+    """
+
+    def __init__(
+        self,
+        featurizer: PlanFeaturizer,
+        *,
+        min_pairs: int = 15,
+        epochs: int = 40,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        self.featurizer = featurizer
+        self.min_pairs = min_pairs
+        self.epochs = epochs
+        self.lr = lr
+        self.net = TreeConvNet(
+            featurizer.node_dim, conv_channels=(32, 32), head_hidden=(16,), seed=seed
+        )
+        self._rng = np.random.default_rng(seed + 5)
+        # query_key -> list of (tree, latency)
+        self._by_query: dict[str, list[tuple[tuple, float]]] = {}
+        self._trained = False
+
+    def observe(self, candidate: CandidatePlan, latency_ms: float) -> None:
+        key = candidate.plan.query.to_sql()
+        tree = plan_to_tree_arrays(candidate.plan, self.featurizer)
+        self._by_query.setdefault(key, []).append((tree, float(latency_ms)))
+
+    def _pairs(self) -> list[tuple[tuple, tuple, float]]:
+        """(tree_a, tree_b, label) with label = 1 when a is faster."""
+        pairs = []
+        for entries in self._by_query.values():
+            for i in range(len(entries)):
+                for j in range(i + 1, len(entries)):
+                    (ta, la), (tb, lb) = entries[i], entries[j]
+                    if abs(la - lb) / max(la, lb, 1e-9) < 0.05:
+                        continue  # ties teach nothing
+                    pairs.append((ta, tb, 1.0 if la < lb else 0.0))
+        return pairs
+
+    @property
+    def n_pairs(self) -> int:
+        return len(self._pairs())
+
+    def retrain(self) -> None:
+        pairs = self._pairs()
+        if len(pairs) < self.min_pairs:
+            return
+        opt = Adam(lr=self.lr)
+        n = len(pairs)
+        for _ in range(self.epochs):
+            order = self._rng.permutation(n)
+            for start in range(0, n, 16):
+                chunk = [pairs[k] for k in order[start : start + 16]]
+                trees = []
+                labels = []
+                for ta, tb, y in chunk:
+                    trees.extend([ta, tb])
+                    labels.append(y)
+                batch = PlanTreeBatch.from_trees(trees)
+                scores = self.net.forward(batch)[:, 0]
+                diff = scores[1::2] - scores[0::2]  # s(b) - s(a)
+                prob = 1.0 / (1.0 + np.exp(-np.clip(diff, -60, 60)))
+                y_arr = np.array(labels)
+                d_diff = (prob - y_arr) / max(len(chunk), 1)
+                grad = np.zeros((len(trees), 1))
+                grad[1::2, 0] = d_diff
+                grad[0::2, 0] = -d_diff
+                self.net._backward(batch, grad)
+                opt.step(self.net.parameters(), self.net.gradients())
+        self._trained = True
+
+    def scores(self, candidates: Sequence[CandidatePlan]) -> list[float]:
+        if not self._trained:
+            return _default_scores(candidates)
+        trees = [plan_to_tree_arrays(c.plan, self.featurizer) for c in candidates]
+        return list(self.net.predict(trees))
+
+    def compare(self, plan_a, plan_b) -> float:
+        """P(plan_a faster than plan_b); 0.5 before training."""
+        if not self._trained:
+            return 0.5
+        trees = [
+            plan_to_tree_arrays(plan_a, self.featurizer),
+            plan_to_tree_arrays(plan_b, self.featurizer),
+        ]
+        s = self.net.predict(trees)
+        return float(1.0 / (1.0 + math.exp(-(s[1] - s[0]))))
+
+
+class EnsembleLatencyModel:
+    """HyperQO-style multi-head predictor with variance filtering [72].
+
+    Scores are mean predicted latency, but candidates whose across-member
+    prediction variance exceeds ``variance_quantile`` of the candidate set
+    are pushed behind the default plan (treated as too risky to pick).
+    """
+
+    def __init__(
+        self,
+        featurizer: PlanFeaturizer,
+        *,
+        n_members: int = 4,
+        variance_quantile: float = 0.7,
+        min_observations: int = 20,
+        epochs: int = 30,
+        seed: int = 0,
+    ) -> None:
+        self.inner = TreeConvLatencyModel(
+            featurizer,
+            n_members=n_members,
+            thompson=False,
+            min_observations=min_observations,
+            epochs=epochs,
+            seed=seed,
+        )
+        self.variance_quantile = variance_quantile
+
+    def observe(self, candidate: CandidatePlan, latency_ms: float) -> None:
+        self.inner.observe(candidate, latency_ms)
+
+    def retrain(self) -> None:
+        self.inner.retrain()
+
+    def scores(self, candidates: Sequence[CandidatePlan]) -> list[float]:
+        if not self.inner._trained:
+            return _default_scores(candidates)
+        trees = [
+            plan_to_tree_arrays(c.plan, self.inner.featurizer) for c in candidates
+        ]
+        preds = np.stack([m.predict(trees) for m in self.inner._members])
+        means = preds.mean(axis=0)
+        stds = preds.std(axis=0)
+        cutoff = float(np.quantile(stds, self.variance_quantile))
+        big = float(means.max()) + 1.0
+        out = []
+        for i, c in enumerate(candidates):
+            if stds[i] > cutoff and c.source != "default":
+                out.append(big + float(stds[i]))  # filtered: behind everything
+            else:
+                out.append(float(means[i]))
+        return out

@@ -1,0 +1,272 @@
+"""Exact COUNT(*) evaluation of SPJ queries over the columnar store.
+
+Two strategies, picked automatically:
+
+- **Message passing** for acyclic join graphs: the classic
+  variable-elimination / semijoin-program trick.  Each filtered table starts
+  with per-row weight 1; leaves send ``groupby(join_key) -> sum(weight)``
+  messages toward a root, parents multiply the message into their row
+  weights, and the root's weight sum is the exact join cardinality.  Runs in
+  near-linear time and never materializes the join.
+
+- **Materializing hash join** for cyclic graphs: builds the intermediate
+  result table-by-table with hash joins, applying extra (cycle-closing)
+  edges as filters.  Guarded by ``max_intermediate_rows`` so pathological
+  queries fail loudly instead of exhausting memory.
+
+A :class:`CardinalityExecutor` instance memoizes results per query, since
+optimizers repeatedly ask for the same sub-query cardinalities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql.query import Query
+from repro.storage.catalog import Database
+
+__all__ = ["CardinalityExecutor", "execute_cardinality", "IntermediateTooLarge"]
+
+
+class IntermediateTooLarge(RuntimeError):
+    """Raised when a cyclic-join materialization exceeds the row guard."""
+
+
+def _filtered_indices(db: Database, query: Query, table: str) -> np.ndarray:
+    """Row indices of ``table`` passing all of the query's predicates on it."""
+    tbl = db.table(table)
+    mask = np.ones(tbl.n_rows, dtype=bool)
+    for pred in query.predicates_on(table):
+        mask &= pred.evaluate(tbl.values(pred.column.column))
+    return np.flatnonzero(mask)
+
+
+def _group_sum(keys: np.ndarray, weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Return (unique_keys, summed_weights) for the given key array."""
+    if keys.size == 0:
+        return keys, weights
+    uniq, inverse = np.unique(keys, return_inverse=True)
+    sums = np.zeros(uniq.shape[0], dtype=float)
+    np.add.at(sums, inverse, weights)
+    return uniq, sums
+
+
+def _lookup(uniq: np.ndarray, sums: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Map each key to its summed weight (0 when absent)."""
+    if uniq.size == 0:
+        return np.zeros(keys.shape[0])
+    pos = np.searchsorted(uniq, keys)
+    pos = np.clip(pos, 0, uniq.shape[0] - 1)
+    hit = uniq[pos] == keys
+    out = np.where(hit, sums[pos], 0.0)
+    return out
+
+
+def _join_graph_is_tree(query: Query) -> bool:
+    """Connected + exactly n-1 edges over distinct table pairs (no cycles,
+    and no parallel edges between a table pair, which message passing on a
+    single key per edge cannot express)."""
+    pairs = set()
+    for j in query.joins:
+        pair = frozenset((j.left.table, j.right.table))
+        if pair in pairs:
+            return False  # parallel edge: treat as cyclic, use materializer
+        pairs.add(pair)
+    return query.is_connected() and len(pairs) == len(query.tables) - 1
+
+
+class CardinalityExecutor:
+    """Exact-cardinality oracle over a database, with per-query memoization."""
+
+    def __init__(
+        self, db: Database, max_intermediate_rows: int = 50_000_000
+    ) -> None:
+        self.db = db
+        self.max_intermediate_rows = max_intermediate_rows
+        self._cache: dict[Query, int] = {}
+
+    def cardinality(self, query: Query) -> int:
+        """Exact COUNT(*) of the query.
+
+        Disconnected join graphs are rejected (the surveyed systems never
+        produce cross joins); single-table queries count filtered rows.
+        """
+        cached = self._cache.get(query)
+        if cached is not None:
+            return cached
+        if not query.is_connected():
+            raise ValueError(
+                f"query join graph is disconnected (cross join unsupported): {query}"
+            )
+        if query.n_tables == 1:
+            result = int(_filtered_indices(self.db, query, query.tables[0]).size)
+        elif _join_graph_is_tree(query):
+            result = self._tree_count(query)
+        else:
+            result = self._materialized_count(query)
+        self._cache[query] = result
+        return result
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+    # -- acyclic: message passing --------------------------------------------------
+
+    def _tree_count(self, query: Query) -> int:
+        # Build adjacency: table -> list of (neighbor, my_col, their_col).
+        adj: dict[str, list[tuple[str, str, str]]] = {t: [] for t in query.tables}
+        for j in query.joins:
+            adj[j.left.table].append((j.right.table, j.left.column, j.right.column))
+            adj[j.right.table].append((j.left.table, j.right.column, j.left.column))
+
+        rows = {
+            t: _filtered_indices(self.db, query, t) for t in query.tables
+        }
+        weights = {t: np.ones(rows[t].shape[0]) for t in query.tables}
+
+        root = query.tables[0]
+        # Post-order traversal (iterative).
+        order: list[tuple[str, str | None, str | None, str | None]] = []
+        stack: list[tuple[str, str | None, str | None, str | None]] = [
+            (root, None, None, None)
+        ]
+        visited = {root}
+        while stack:
+            entry = stack.pop()
+            order.append(entry)
+            table = entry[0]
+            for neighbor, my_col, their_col in adj[table]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    # neighbor joins to `table` on neighbor.their? careful:
+                    # (neighbor, neighbor_col=their_col) = (table, my_col)
+                    stack.append((neighbor, table, their_col, my_col))
+
+        # Process children before parents.
+        for table, parent, my_col, parent_col in reversed(order):
+            if parent is None:
+                continue
+            keys = self.db.table(table).values(my_col)[rows[table]]
+            uniq, sums = _group_sum(keys, weights[table])
+            parent_keys = self.db.table(parent).values(parent_col)[rows[parent]]
+            weights[parent] *= _lookup(uniq, sums, parent_keys)
+        return int(round(weights[root].sum()))
+
+    # -- cyclic: guarded materialization ---------------------------------------------
+
+    def _materialized_count(self, query: Query) -> int:
+        # Greedy table order: start at the smallest filtered table, then
+        # repeatedly add a joined neighbor.
+        rows = {t: _filtered_indices(self.db, query, t) for t in query.tables}
+        remaining = set(query.tables)
+        start = min(remaining, key=lambda t: rows[t].size)
+        inter: dict[str, np.ndarray] = {start: rows[start]}
+        remaining.discard(start)
+        done_edges: set[int] = set()
+
+        while remaining:
+            candidates = [
+                (i, j)
+                for i, j in enumerate(query.joins)
+                if i not in done_edges
+                and (
+                    (j.left.table in inter) != (j.right.table in inter)
+                )
+            ]
+            if not candidates:
+                raise AssertionError("connected query ran out of join edges")
+            edge_i, edge = candidates[0]
+            if edge.left.table in inter:
+                old_ref, new_ref = edge.left, edge.right
+            else:
+                old_ref, new_ref = edge.right, edge.left
+            new_table = new_ref.table
+
+            build_keys = self.db.table(new_table).values(new_ref.column)[
+                rows[new_table]
+            ]
+            probe_keys = self.db.table(old_ref.table).values(old_ref.column)[
+                inter[old_ref.table]
+            ]
+            uniq, counts_start, counts_len, perm = _hash_index(build_keys)
+            probe_pos = np.searchsorted(uniq, probe_keys)
+            probe_pos = np.clip(probe_pos, 0, max(uniq.shape[0] - 1, 0))
+            hit = (
+                uniq[probe_pos] == probe_keys
+                if uniq.size
+                else np.zeros(probe_keys.shape[0], dtype=bool)
+            )
+            match_counts = np.where(hit, counts_len[probe_pos], 0).astype(np.int64)
+            total = int(match_counts.sum())
+            if total > self.max_intermediate_rows:
+                raise IntermediateTooLarge(
+                    f"intermediate of {total} rows exceeds guard "
+                    f"({self.max_intermediate_rows}) for query {query}"
+                )
+            # Expand: repeat each intermediate row by its match count and
+            # gather the matching new-table row indices.
+            left_repeat = np.repeat(np.arange(probe_keys.shape[0]), match_counts)
+            gather = _expand_matches(
+                probe_pos, match_counts, counts_start, perm
+            )
+            inter = {t: idx[left_repeat] for t, idx in inter.items()}
+            inter[new_table] = rows[new_table][gather]
+            remaining.discard(new_table)
+            done_edges.add(edge_i)
+
+            # Apply any cycle-closing edges now internal to the intermediate.
+            for i, j in enumerate(query.joins):
+                if i in done_edges:
+                    continue
+                if j.left.table in inter and j.right.table in inter:
+                    lv = self.db.table(j.left.table).values(j.left.column)[
+                        inter[j.left.table]
+                    ]
+                    rv = self.db.table(j.right.table).values(j.right.column)[
+                        inter[j.right.table]
+                    ]
+                    keep = lv == rv
+                    inter = {t: idx[keep] for t, idx in inter.items()}
+                    done_edges.add(i)
+        first = next(iter(inter.values()))
+        return int(first.shape[0])
+
+
+def _hash_index(
+    keys: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Sort-based 'hash table': returns (unique_keys, group_start, group_len,
+    permutation sorting rows by key)."""
+    if keys.size == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        return keys, empty, empty, empty
+    perm = np.argsort(keys, kind="stable")
+    sorted_keys = keys[perm]
+    uniq, start = np.unique(sorted_keys, return_index=True)
+    lengths = np.diff(np.append(start, sorted_keys.shape[0]))
+    return uniq, start.astype(np.int64), lengths.astype(np.int64), perm
+
+
+def _expand_matches(
+    probe_pos: np.ndarray,
+    match_counts: np.ndarray,
+    group_start: np.ndarray,
+    perm: np.ndarray,
+) -> np.ndarray:
+    """Row indices (into the build side's filtered rows) matching each probe,
+    expanded in probe order."""
+    total = int(match_counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    starts = np.where(match_counts > 0, group_start[probe_pos], 0)
+    # offsets within each probe's group: 0..count-1
+    cum = np.cumsum(match_counts)
+    idx = np.arange(total)
+    probe_of_idx = np.searchsorted(cum, idx, side="right")
+    offset = idx - (cum[probe_of_idx] - match_counts[probe_of_idx])
+    return perm[starts[probe_of_idx] + offset]
+
+
+def execute_cardinality(db: Database, query: Query) -> int:
+    """Convenience one-shot exact cardinality (no memoization)."""
+    return CardinalityExecutor(db).cardinality(query)

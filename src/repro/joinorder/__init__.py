@@ -1,0 +1,33 @@
+"""Learned join-order search (paper §2.1.3).
+
+The plan-enumerator component learned with RL, in the two regimes the
+tutorial distinguishes:
+
+- **offline** (learn from past queries): :class:`DQJoinOrderSearch`
+  (DQ [15] / ReJoin [24] -- Q-learning with a neural state-action value)
+  and :class:`RTOSJoinOrderSearch` (RTOS [73] -- tree-structured state
+  representation via tree convolution);
+- **online** (learn during execution): :class:`MCTSJoinOrderSearch`
+  (SkinnerDB [56] -- UCT over join orders with execution feedback) and
+  :class:`EddyJoinOrderSearch` (Eddy-RL [58] -- Q-learning on observed
+  per-chunk fan-outs while tuples flow).
+
+All operate in the left-deep plan space (the space these systems search)
+and produce a standard :class:`repro.engine.plans.Plan`; physical operators
+per join are chosen greedily by the native cost model, as the papers do.
+"""
+
+from repro.joinorder.env import JoinOrderEnv, plan_from_order
+from repro.joinorder.dq import DQJoinOrderSearch
+from repro.joinorder.rtos import RTOSJoinOrderSearch
+from repro.joinorder.mcts import MCTSJoinOrderSearch
+from repro.joinorder.eddy import EddyJoinOrderSearch
+
+__all__ = [
+    "JoinOrderEnv",
+    "plan_from_order",
+    "DQJoinOrderSearch",
+    "RTOSJoinOrderSearch",
+    "MCTSJoinOrderSearch",
+    "EddyJoinOrderSearch",
+]

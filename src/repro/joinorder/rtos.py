@@ -1,0 +1,158 @@
+"""RTOS-style join-order search with tree-structured states [73].
+
+RTOS's advance over DQ/ReJoin is representing the partial join *tree* with
+a recursive neural encoder instead of flat set one-hots.  Here the state
+value ``V(partial plan)`` is a tree-convolution network over the partial
+left-deep tree (plus the not-yet-joined scans); actions are scored by the
+value of the state they lead to, trained by Monte-Carlo regression on
+final plan costs.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.costmodel.features import PlanFeaturizer
+from repro.engine.plans import JoinNode, PlanNode, ScanNode
+from repro.joinorder.env import JoinOrderEnv, plan_from_order
+from repro.ml.treeconv import TreeConvNet
+from repro.optimizer.planner import Optimizer, _join_conditions_between
+from repro.sql.query import Query
+
+__all__ = ["RTOSJoinOrderSearch"]
+
+
+class RTOSJoinOrderSearch:
+    """Tree-structured-state join-order search (RTOS-lite)."""
+
+    name = "rtos"
+
+    def __init__(
+        self,
+        optimizer: Optimizer,
+        epsilon: float = 0.3,
+        refit_every: int = 40,
+        seed: int = 0,
+    ) -> None:
+        self.optimizer = optimizer
+        self.coster = optimizer.coster
+        self.featurizer = PlanFeaturizer(optimizer.db, optimizer.estimator)
+        self.epsilon = epsilon
+        self.refit_every = refit_every
+        self._rng = np.random.default_rng(seed)
+        self._net = TreeConvNet(
+            self.featurizer.node_dim, conv_channels=(32, 32), head_hidden=(16,), seed=seed
+        )
+        self._buffer: list[tuple] = []
+        self._targets: list[float] = []
+        self._episodes = 0
+        self._trained = False
+
+    # -- state encoding -------------------------------------------------------------
+
+    def _partial_tree(self, query: Query, prefix: list[str]):
+        """Tree arrays of the partial left-deep plan over ``prefix``."""
+        node: PlanNode = ScanNode(
+            table=prefix[0], predicates=query.predicates_on(prefix[0])
+        )
+        for t in prefix[1:]:
+            right = ScanNode(table=t, predicates=query.predicates_on(t))
+            conditions = _join_conditions_between(query, node.tables, right.tables)
+            node = JoinNode(node, right, conditions=conditions)
+        feats, left, right_idx = [], [], []
+
+        def visit(n: PlanNode) -> int:
+            my = len(feats)
+            sub = query.subquery(n.tables)
+            est = max(self.optimizer.estimator.estimate(sub), 0.0)
+            vec = self._node_vec(n, est)
+            feats.append(vec)
+            left.append(-1)
+            right_idx.append(-1)
+            if isinstance(n, JoinNode):
+                left[my] = visit(n.left)
+                right_idx[my] = visit(n.right)
+            return my
+
+        visit(node)
+        return np.stack(feats), np.array(left), np.array(right_idx)
+
+    def _node_vec(self, node: PlanNode, est_card: float) -> np.ndarray:
+        # Reuse the cost-model featurizer layout via a synthetic encoding:
+        # operator one-hot slots (scan/join generic), table one-hot, extras.
+        n_ops = 5
+        tables = self.featurizer.tables
+        vec = np.zeros(self.featurizer.node_dim)
+        if isinstance(node, ScanNode):
+            vec[0] = 1.0
+            vec[n_ops + tables.index(node.table)] = 1.0
+            n_preds = len(node.predicates) / 4.0
+        else:
+            vec[2] = 1.0  # generic join slot
+            n_preds = 0.0
+        base = n_ops + len(tables)
+        vec[base] = math.log1p(est_card) / 20.0
+        vec[base + 1] = len(node.tables) / max(len(tables), 1)
+        vec[base + 2] = n_preds
+        return vec
+
+    # -- training ------------------------------------------------------------------
+
+    def train_episode(self, query: Query) -> float:
+        env = JoinOrderEnv(query)
+        states = []
+        while not env.done:
+            actions = env.valid_actions()
+            if self._rng.random() < self.epsilon or not self._trained:
+                choice = actions[self._rng.integers(len(actions))]
+            else:
+                values = [
+                    self._net.predict([self._partial_tree(query, env.prefix + [a])])[0]
+                    for a in actions
+                ]
+                choice = actions[int(np.argmax(values))]
+            env.step(choice)
+            states.append(self._partial_tree(query, list(env.prefix)))
+        plan = plan_from_order(query, env.prefix, self.coster)
+        reward = -math.log1p(max(self.optimizer.cost(plan), 0.0))
+        for s in states:
+            self._buffer.append(s)
+            self._targets.append(reward)
+        self._episodes += 1
+        if self._episodes % self.refit_every == 0:
+            self._refit()
+        return reward
+
+    def train(self, queries: list[Query], episodes_per_query: int = 6) -> None:
+        for _ in range(episodes_per_query):
+            for q in queries:
+                if q.n_tables >= 2:
+                    self.train_episode(q)
+        self._refit()
+
+    def _refit(self) -> None:
+        if len(self._targets) < 20:
+            return
+        trees = self._buffer[-2000:]
+        y = np.array(self._targets[-2000:])
+        self._net.fit(trees, y, epochs=25, lr=1e-3)
+        self._trained = True
+
+    # -- inference -----------------------------------------------------------------
+
+    def search(self, query: Query):
+        env = JoinOrderEnv(query)
+        while not env.done:
+            actions = env.valid_actions()
+            if self._trained:
+                values = [
+                    self._net.predict([self._partial_tree(query, env.prefix + [a])])[0]
+                    for a in actions
+                ]
+                choice = actions[int(np.argmax(values))]
+            else:
+                choice = actions[0]
+            env.step(choice)
+        return plan_from_order(query, env.prefix, self.coster)

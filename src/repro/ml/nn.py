@@ -1,0 +1,545 @@
+"""A small feed-forward neural-network framework on numpy.
+
+Implements exactly what the learned-query-optimizer models in this repository
+need: dense layers, common activations, dropout, the Adam optimizer, and a
+convenience :class:`MLP` wrapper with mini-batch training, early stopping and
+both MSE and q-error-style losses.
+
+The design follows the classic layer protocol: each layer exposes
+``forward(x, training)`` and ``backward(grad)``; ``backward`` must be called
+in reverse order of ``forward`` and returns the gradient with respect to the
+layer input while accumulating parameter gradients internally.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "LayerNorm",
+    "Sequential",
+    "Adam",
+    "SGD",
+    "MLP",
+    "mse_loss",
+    "mae_loss",
+    "q_error_loss",
+    "binary_cross_entropy_loss",
+]
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses must implement :meth:`forward` and :meth:`backward` and may
+    expose trainable parameters through :meth:`parameters` /
+    :meth:`gradients` (parallel lists of arrays).
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[np.ndarray]:
+        return []
+
+    def gradients(self) -> list[np.ndarray]:
+        return []
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b`` with He/Xavier init."""
+
+    def __init__(
+        self,
+        in_dim: int,
+        out_dim: int,
+        *,
+        init: str = "he",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        if in_dim <= 0 or out_dim <= 0:
+            raise ValueError(f"Dense dims must be positive, got {in_dim}x{out_dim}")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        if init == "he":
+            scale = math.sqrt(2.0 / in_dim)
+        elif init == "xavier":
+            scale = math.sqrt(1.0 / in_dim)
+        else:
+            raise ValueError(f"unknown init {init!r}")
+        self.w = rng.normal(0.0, scale, size=(in_dim, out_dim))
+        self.b = np.zeros(out_dim)
+        self.dw = np.zeros_like(self.w)
+        self.db = np.zeros_like(self.b)
+        self._x: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        return x @ self.w + self.b
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        assert self._x is not None, "backward called before forward"
+        self.dw = self._x.T @ grad
+        self.db = grad.sum(axis=0)
+        return grad @ self.w.T
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.w, self.b]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.dw, self.db]
+
+
+class ReLU(Layer):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class LeakyReLU(Layer):
+    def __init__(self, alpha: float = 0.01) -> None:
+        self.alpha = alpha
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, self.alpha * x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return np.where(self._mask, grad, self.alpha * grad)
+
+
+class Sigmoid(Layer):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # Numerically stable sigmoid.
+        out = np.empty_like(x, dtype=float)
+        pos = x >= 0
+        out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        out[~pos] = ex / (1.0 + ex)
+        self._out = out
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._out * (1.0 - self._out)
+
+
+class Tanh(Layer):
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * (1.0 - self._out**2)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time."""
+
+    def __init__(self, rate: float, rng: np.random.Generator | None = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class LayerNorm(Layer):
+    """Layer normalization over the feature axis."""
+
+    def __init__(self, dim: int, eps: float = 1e-5) -> None:
+        self.gamma = np.ones(dim)
+        self.beta = np.zeros(dim)
+        self.dgamma = np.zeros(dim)
+        self.dbeta = np.zeros(dim)
+        self.eps = eps
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mu = x.mean(axis=-1, keepdims=True)
+        self._var = x.var(axis=-1, keepdims=True)
+        self._xhat = (x - self._mu) / np.sqrt(self._var + self.eps)
+        return self.gamma * self._xhat + self.beta
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        xhat, var = self._xhat, self._var
+        n = xhat.shape[-1]
+        self.dgamma = (grad * xhat).sum(axis=tuple(range(grad.ndim - 1)))
+        self.dbeta = grad.sum(axis=tuple(range(grad.ndim - 1)))
+        dxhat = grad * self.gamma
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        return (
+            dxhat
+            - dxhat.mean(axis=-1, keepdims=True)
+            - xhat * (dxhat * xhat).mean(axis=-1, keepdims=True)
+        ) * inv_std
+
+    def parameters(self) -> list[np.ndarray]:
+        return [self.gamma, self.beta]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [self.dgamma, self.dbeta]
+
+
+class Sequential(Layer):
+    """A simple container running layers in order."""
+
+    def __init__(self, layers: Sequence[Layer]) -> None:
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> list[np.ndarray]:
+        return [p for layer in self.layers for p in layer.parameters()]
+
+    def gradients(self) -> list[np.ndarray]:
+        return [g for layer in self.layers for g in layer.gradients()]
+
+
+class SGD:
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: list[np.ndarray] | None = None
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._velocity is None:
+            self._velocity = [np.zeros_like(p) for p in params]
+        for p, g, v in zip(params, grads, self._velocity):
+            v *= self.momentum
+            v -= self.lr * g
+            p += v
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) operating in-place on parameter arrays."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m: list[np.ndarray] | None = None
+        self._v: list[np.ndarray] | None = None
+        self._t = 0
+
+    def step(self, params: list[np.ndarray], grads: list[np.ndarray]) -> None:
+        if self._m is None:
+            self._m = [np.zeros_like(p) for p in params]
+            self._v = [np.zeros_like(p) for p in params]
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for p, g, m, v in zip(params, grads, self._m, self._v):
+            if self.weight_decay:
+                g = g + self.weight_decay * p
+            m *= self.beta1
+            m += (1.0 - self.beta1) * g
+            v *= self.beta2
+            v += (1.0 - self.beta2) * g * g
+            p -= self.lr * (m / b1t) / (np.sqrt(v / b2t) + self.eps)
+
+
+# ---------------------------------------------------------------------------
+# Losses.  Each returns (loss_value, gradient_wrt_prediction).
+# ---------------------------------------------------------------------------
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    diff = pred - target
+    n = max(pred.size, 1)
+    return float((diff**2).mean()), (2.0 / n) * diff
+
+
+def mae_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    diff = pred - target
+    n = max(pred.size, 1)
+    return float(np.abs(diff).mean()), np.sign(diff) / n
+
+
+def q_error_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Symmetric log-space loss: MSE on values already in log space.
+
+    Minimizing squared error in log space directly minimizes
+    ``log(q_error)^2`` when both pred and target are log-cardinalities, which
+    is the standard training objective for learned cardinality estimators.
+    """
+    return mse_loss(pred, target)
+
+
+def binary_cross_entropy_loss(
+    pred: np.ndarray, target: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """BCE on probabilities in (0, 1); gradient w.r.t. the probability."""
+    eps = 1e-9
+    p = np.clip(pred, eps, 1.0 - eps)
+    loss = -(target * np.log(p) + (1.0 - target) * np.log(1.0 - p)).mean()
+    n = max(pred.size, 1)
+    grad = (p - target) / (p * (1.0 - p)) / n
+    return float(loss), grad
+
+
+_LOSSES: dict[str, Callable[[np.ndarray, np.ndarray], tuple[float, np.ndarray]]] = {
+    "mse": mse_loss,
+    "mae": mae_loss,
+    "q_error": q_error_loss,
+    "bce": binary_cross_entropy_loss,
+}
+
+
+@dataclass
+class TrainLog:
+    """Per-epoch training diagnostics returned by :meth:`MLP.fit`."""
+
+    train_losses: list[float] = field(default_factory=list)
+    val_losses: list[float] = field(default_factory=list)
+    stopped_early: bool = False
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_losses)
+
+
+class MLP:
+    """A multi-layer perceptron with a sklearn-like ``fit``/``predict`` API.
+
+    Parameters
+    ----------
+    in_dim:
+        Input feature dimension.
+    hidden:
+        Sizes of hidden layers, e.g. ``(64, 64)``.
+    out_dim:
+        Output dimension (1 for scalar regression).
+    activation:
+        ``"relu"``, ``"tanh"`` or ``"sigmoid"``.
+    output_activation:
+        Optional activation on the output layer (``"sigmoid"`` for
+        probabilities, ``None`` for regression).
+    dropout:
+        Dropout rate applied after each hidden activation.
+    seed:
+        Seed for weight init, batching and dropout; training is deterministic
+        for a fixed seed.
+    """
+
+    def __init__(
+        self,
+        in_dim: int,
+        hidden: Sequence[int] = (64, 64),
+        out_dim: int = 1,
+        *,
+        activation: str = "relu",
+        output_activation: str | None = None,
+        dropout: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.in_dim = in_dim
+        self.out_dim = out_dim
+        rng = np.random.default_rng(seed)
+        acts = {"relu": ReLU, "tanh": Tanh, "sigmoid": Sigmoid, "leaky_relu": LeakyReLU}
+        if activation not in acts:
+            raise ValueError(f"unknown activation {activation!r}")
+        layers: list[Layer] = []
+        prev = in_dim
+        for width in hidden:
+            layers.append(Dense(prev, width, rng=rng))
+            layers.append(acts[activation]())
+            if dropout > 0.0:
+                layers.append(Dropout(dropout, rng=rng))
+            prev = width
+        layers.append(Dense(prev, out_dim, init="xavier", rng=rng))
+        if output_activation is not None:
+            if output_activation not in acts:
+                raise ValueError(f"unknown output activation {output_activation!r}")
+            layers.append(acts[output_activation]())
+        self.net = Sequential(layers)
+        self._rng = rng
+        self._x_mean: np.ndarray | None = None
+        self._x_std: np.ndarray | None = None
+
+    # -- normalization ------------------------------------------------------
+
+    def _fit_normalizer(self, x: np.ndarray) -> None:
+        self._x_mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self._x_std = std
+
+    def _normalize(self, x: np.ndarray) -> np.ndarray:
+        if self._x_mean is None:
+            return x
+        return (x - self._x_mean) / self._x_std
+
+    # -- training -----------------------------------------------------------
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        epochs: int = 100,
+        batch_size: int = 64,
+        lr: float = 1e-3,
+        loss: str = "mse",
+        weight_decay: float = 0.0,
+        val_fraction: float = 0.0,
+        patience: int = 10,
+        sample_weight: np.ndarray | None = None,
+        normalize: bool = True,
+        verbose: bool = False,
+    ) -> TrainLog:
+        """Train with Adam and mini-batches; returns a :class:`TrainLog`.
+
+        When ``val_fraction > 0`` a validation split is held out and early
+        stopping with the given ``patience`` restores the best weights.
+        """
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if y.ndim == 1:
+            y = y[:, None]
+        if x.shape[0] != y.shape[0]:
+            raise ValueError(f"x has {x.shape[0]} rows but y has {y.shape[0]}")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if loss not in _LOSSES:
+            raise ValueError(f"unknown loss {loss!r}; choose from {sorted(_LOSSES)}")
+        loss_fn = _LOSSES[loss]
+
+        if normalize:
+            self._fit_normalizer(x)
+        x = self._normalize(x)
+
+        if sample_weight is not None:
+            sample_weight = np.asarray(sample_weight, dtype=float)
+            if sample_weight.shape[0] != x.shape[0]:
+                raise ValueError("sample_weight length mismatch")
+
+        n = x.shape[0]
+        val_x = val_y = None
+        if val_fraction > 0.0 and n >= 10:
+            idx = self._rng.permutation(n)
+            n_val = max(1, int(n * val_fraction))
+            val_idx, train_idx = idx[:n_val], idx[n_val:]
+            val_x, val_y = x[val_idx], y[val_idx]
+            x, y = x[train_idx], y[train_idx]
+            if sample_weight is not None:
+                sample_weight = sample_weight[train_idx]
+            n = x.shape[0]
+
+        opt = Adam(lr=lr, weight_decay=weight_decay)
+        log = TrainLog()
+        best_val = math.inf
+        best_params: list[np.ndarray] | None = None
+        bad_epochs = 0
+
+        for epoch in range(epochs):
+            order = self._rng.permutation(n)
+            epoch_loss = 0.0
+            n_batches = 0
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                pred = self.net.forward(x[batch], training=True)
+                value, grad = loss_fn(pred, y[batch])
+                if sample_weight is not None:
+                    w = sample_weight[batch][:, None]
+                    value = float((w * (pred - y[batch]) ** 2).mean())
+                    grad = grad * w
+                self.net.backward(grad)
+                opt.step(self.net.parameters(), self.net.gradients())
+                epoch_loss += value
+                n_batches += 1
+            log.train_losses.append(epoch_loss / max(n_batches, 1))
+
+            if val_x is not None:
+                val_pred = self.net.forward(val_x, training=False)
+                val_value, _ = loss_fn(val_pred, val_y)
+                log.val_losses.append(val_value)
+                if val_value < best_val - 1e-9:
+                    best_val = val_value
+                    best_params = [p.copy() for p in self.net.parameters()]
+                    bad_epochs = 0
+                else:
+                    bad_epochs += 1
+                    if bad_epochs >= patience:
+                        log.stopped_early = True
+                        break
+            if verbose and epoch % 10 == 0:
+                print(f"epoch {epoch}: loss={log.train_losses[-1]:.6f}")
+
+        if best_params is not None:
+            for p, best in zip(self.net.parameters(), best_params):
+                p[...] = best
+        return log
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        single = x.ndim == 1
+        if single:
+            x = x[None, :]
+        out = self.net.forward(self._normalize(x), training=False)
+        if self.out_dim == 1:
+            out = out[:, 0]
+        return out[0] if single else out
+
+    # -- (de)serialization ---------------------------------------------------
+
+    def get_weights(self) -> list[np.ndarray]:
+        return [p.copy() for p in self.net.parameters()]
+
+    def set_weights(self, weights: Iterable[np.ndarray]) -> None:
+        params = self.net.parameters()
+        weights = list(weights)
+        if len(weights) != len(params):
+            raise ValueError(
+                f"expected {len(params)} weight arrays, got {len(weights)}"
+            )
+        for p, w in zip(params, weights):
+            if p.shape != w.shape:
+                raise ValueError(f"shape mismatch: {p.shape} vs {w.shape}")
+            p[...] = w

@@ -1,0 +1,97 @@
+"""Plan costing with *estimated* cardinalities (the optimizer's belief).
+
+:class:`PlanCoster` evaluates the shared operator cost formulas on the
+cardinalities produced by any :class:`repro.core.CardinalityEstimator`.
+Because the simulator evaluates the same formulas on true cardinalities,
+``coster.cost(plan)`` equals the plan's real cost exactly when the estimates
+are exact -- estimation error is the sole source of plan-choice error.
+"""
+
+from __future__ import annotations
+
+from repro.core.interfaces import CardinalityEstimator
+from repro.engine.cost_formulas import CostConstants, OperatorCosts
+from repro.engine.plans import JoinMethod, JoinNode, Plan, PlanNode, ScanMethod, ScanNode
+from repro.sql.query import Query
+from repro.storage.catalog import Database
+
+__all__ = ["PlanCoster"]
+
+
+class PlanCoster:
+    """Estimated-cost evaluation of plans and plan fragments."""
+
+    def __init__(
+        self,
+        db: Database,
+        estimator: CardinalityEstimator,
+        constants: CostConstants | None = None,
+    ) -> None:
+        self.db = db
+        self.estimator = estimator
+        self.ops = OperatorCosts(constants)
+
+    # -- cardinalities ------------------------------------------------------------
+
+    def subquery_cardinality(self, query: Query, tables: frozenset[str]) -> float:
+        return max(self.estimator.estimate(query.subquery(tables)), 0.0)
+
+    def _index_fetched(self, node: ScanNode) -> float:
+        if not node.predicates:
+            return float(self.db.table(node.table).n_rows)
+        single = Query((node.table,), (), (node.predicates[0],))
+        return max(self.estimator.estimate(single), 0.0)
+
+    # -- operator costs -------------------------------------------------------------
+
+    def scan_cost(self, node: ScanNode) -> float:
+        base_rows = self.db.table(node.table).n_rows
+        if node.method is ScanMethod.SEQ:
+            return self.ops.seq_scan(base_rows, len(node.predicates))
+        return self.ops.index_scan(
+            base_rows, self._index_fetched(node), len(node.predicates)
+        )
+
+    def join_operator_cost(
+        self,
+        method: JoinMethod,
+        left_rows: float,
+        right_rows: float,
+        out_rows: float,
+        right_node: PlanNode,
+    ) -> float:
+        """Cost of one join operator given (estimated) input/output sizes."""
+        if method is JoinMethod.HASH:
+            return self.ops.hash_join(left_rows, right_rows, out_rows)
+        if method is JoinMethod.MERGE:
+            return self.ops.merge_join(left_rows, right_rows, out_rows)
+        if isinstance(right_node, ScanNode):
+            inner_base = self.db.table(right_node.table).n_rows
+            return self.ops.nested_loop_indexed(left_rows, inner_base, out_rows)
+        return self.ops.nested_loop_naive(left_rows, right_rows, out_rows)
+
+    # -- whole-plan cost --------------------------------------------------------------
+
+    def cost(self, plan: Plan) -> float:
+        """Total estimated cost of the plan (sum of node costs)."""
+        total = 0.0
+        for node in plan.walk():
+            if isinstance(node, ScanNode):
+                total += self.scan_cost(node)
+            else:
+                assert isinstance(node, JoinNode)
+                total += self.join_operator_cost(
+                    node.method,
+                    self.subquery_cardinality(plan.query, node.left.tables),
+                    self.subquery_cardinality(plan.query, node.right.tables),
+                    self.subquery_cardinality(plan.query, node.tables),
+                    node.right,
+                )
+        return total
+
+    def node_cardinalities(self, plan: Plan) -> dict[PlanNode, float]:
+        """Estimated output cardinality of every node (for featurization)."""
+        return {
+            node: self.subquery_cardinality(plan.query, node.tables)
+            for node in plan.walk()
+        }

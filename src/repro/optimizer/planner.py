@@ -1,0 +1,259 @@
+"""Plan enumeration and the native optimizer facade.
+
+Enumeration algorithms (§2, plan enumerator component):
+
+- **Dynamic programming** over connected subsets (DPsub, the PostgreSQL /
+  Volcano classic): optimal w.r.t. the estimated cost model, considering
+  bushy trees, all enabled join methods and both join orientations.
+- **Greedy**: repeatedly joins the cheapest pair -- the fast fallback
+  traditional systems use for large queries.
+- **Left-deep DP**: restricts to left-deep trees (the search space the RL
+  join-order methods of §2.1.3 operate in).
+
+:class:`Optimizer` packages stats + estimator + coster + enumeration behind
+the two steering surfaces (estimator swap, hint sets).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+from repro.core.interfaces import CardinalityEstimator
+from repro.engine.cost_formulas import CostConstants
+from repro.engine.plans import (
+    JoinMethod,
+    JoinNode,
+    Plan,
+    PlanNode,
+    ScanMethod,
+    ScanNode,
+)
+from repro.optimizer.cost import PlanCoster
+from repro.optimizer.hints import HintSet
+from repro.optimizer.statistics import DatabaseStats
+from repro.optimizer.traditional import TraditionalCardinalityEstimator
+from repro.sql.query import Join, Query
+from repro.storage.catalog import Database
+
+__all__ = ["Optimizer", "enumerate_dp", "enumerate_greedy"]
+
+
+def _join_conditions_between(
+    query: Query, left: frozenset[str], right: frozenset[str]
+) -> tuple[Join, ...]:
+    return tuple(
+        j
+        for j in query.joins
+        if (j.left.table in left and j.right.table in right)
+        or (j.left.table in right and j.right.table in left)
+    )
+
+
+def _best_scan(
+    query: Query, table: str, coster: PlanCoster, hints: HintSet
+) -> tuple[ScanNode, float]:
+    """Cheapest allowed scan for one table."""
+    preds = query.predicates_on(table)
+    candidates = []
+    for method in hints.scan_methods:
+        if method is ScanMethod.INDEX and not preds:
+            continue  # index scans need a driving predicate
+        node = ScanNode(table=table, method=method, predicates=preds)
+        candidates.append((node, coster.scan_cost(node)))
+    if not candidates:
+        # Index-only hints on a predicate-less table: fall back to seq scan,
+        # as real systems do rather than failing the query.
+        node = ScanNode(table=table, method=ScanMethod.SEQ, predicates=preds)
+        candidates.append((node, coster.scan_cost(node)))
+    return min(candidates, key=lambda c: c[1])
+
+
+def _best_join(
+    query: Query,
+    left: tuple[PlanNode, float],
+    right: tuple[PlanNode, float],
+    conditions: tuple[Join, ...],
+    coster: PlanCoster,
+    hints: HintSet,
+    card_of: dict[frozenset[str], float],
+    *,
+    allow_swap: bool = True,
+) -> tuple[JoinNode, float] | None:
+    """Cheapest allowed join combining the two sub-plans.
+
+    ``allow_swap=False`` pins the orientation (needed by left-deep
+    enumeration, where the inner/right side must stay a base relation).
+    """
+    best: tuple[JoinNode, float] | None = None
+    out_card = card_of[left[0].tables | right[0].tables]
+    orientations = ((left, right), (right, left)) if allow_swap else ((left, right),)
+    for (a, ca), (b, cb) in orientations:
+        for method in hints.join_methods:
+            op_cost = coster.join_operator_cost(
+                method, card_of[a.tables], card_of[b.tables], out_card, b
+            )
+            total = ca + cb + op_cost
+            if best is None or total < best[1]:
+                best = (JoinNode(a, b, method, conditions), total)
+    return best
+
+
+def enumerate_dp(
+    query: Query,
+    coster: PlanCoster,
+    hints: HintSet | None = None,
+    *,
+    left_deep_only: bool = False,
+) -> Plan:
+    """Optimal plan under the estimated cost model (DP over subsets)."""
+    hints = hints if hints is not None else HintSet.default()
+    tables = list(query.tables)
+    n = len(tables)
+
+    # Pre-compute estimated cardinalities per connected subset.
+    best: dict[frozenset[str], tuple[PlanNode, float]] = {}
+    card_of: dict[frozenset[str], float] = {}
+    for t in tables:
+        key = frozenset((t,))
+        best[key] = _best_scan(query, t, coster, hints)
+        card_of[key] = coster.subquery_cardinality(query, key)
+
+    if n == 1:
+        return Plan(query, best[frozenset(tables)][0])
+
+    for size in range(2, n + 1):
+        for combo in combinations(tables, size):
+            subset = frozenset(combo)
+            sub = query.subquery(subset)
+            if not sub.is_connected():
+                continue
+            card_of[subset] = coster.subquery_cardinality(query, subset)
+            champion: tuple[PlanNode, float] | None = None
+            # All partitions into two connected, joined halves.
+            members = sorted(subset)
+            for r in range(1, size):
+                for left_combo in combinations(members[1:], r - 1):
+                    left_set = frozenset((members[0],) + left_combo)
+                    right_set = subset - left_set
+                    if left_deep_only and len(right_set) != 1:
+                        continue
+                    if left_set not in best or right_set not in best:
+                        continue
+                    conditions = _join_conditions_between(query, left_set, right_set)
+                    if not conditions:
+                        continue
+                    cand = _best_join(
+                        query,
+                        best[left_set],
+                        best[right_set],
+                        conditions,
+                        coster,
+                        hints,
+                        card_of,
+                        allow_swap=not left_deep_only,
+                    )
+                    if cand is not None and (
+                        champion is None or cand[1] < champion[1]
+                    ):
+                        champion = cand
+            if champion is not None:
+                best[subset] = champion
+
+    full = frozenset(tables)
+    if full not in best:
+        raise ValueError(f"no connected plan covers all tables of {query}")
+    return Plan(query, best[full][0])
+
+
+def enumerate_greedy(
+    query: Query, coster: PlanCoster, hints: HintSet | None = None
+) -> Plan:
+    """Greedy pairwise joining: fast, possibly suboptimal."""
+    hints = hints if hints is not None else HintSet.default()
+    fragments: dict[frozenset[str], tuple[PlanNode, float]] = {}
+    card_of: dict[frozenset[str], float] = {}
+    for t in query.tables:
+        key = frozenset((t,))
+        fragments[key] = _best_scan(query, t, coster, hints)
+        card_of[key] = coster.subquery_cardinality(query, key)
+
+    while len(fragments) > 1:
+        champion: tuple[frozenset[str], frozenset[str], JoinNode, float] | None = None
+        keys = list(fragments)
+        for a, b in combinations(keys, 2):
+            conditions = _join_conditions_between(query, a, b)
+            if not conditions:
+                continue
+            merged = a | b
+            if merged not in card_of:
+                card_of[merged] = coster.subquery_cardinality(query, merged)
+            cand = _best_join(
+                query, fragments[a], fragments[b], conditions, coster, hints, card_of
+            )
+            if cand is not None and (champion is None or cand[1] < champion[3]):
+                champion = (a, b, cand[0], cand[1])
+        if champion is None:
+            raise ValueError(f"join graph disconnected during greedy planning: {query}")
+        a, b, node, cost = champion
+        del fragments[a], fragments[b]
+        fragments[a | b] = (node, cost)
+    (_, (root, _)), = fragments.items()
+    return Plan(query, root)
+
+
+class Optimizer:
+    """The native optimizer: stats + pluggable estimator + enumeration.
+
+    Parameters
+    ----------
+    db:
+        The database to plan against.
+    estimator:
+        Cardinality estimator consulted during costing; defaults to the
+        traditional histogram estimator.  Swapping this is how learned
+        estimators and injection/scaling knobs steer the planner.
+    stats:
+        Pre-built statistics (ANALYZE output); built on demand otherwise.
+    constants:
+        Cost-model constants.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        estimator: CardinalityEstimator | None = None,
+        stats: DatabaseStats | None = None,
+        constants: CostConstants | None = None,
+    ) -> None:
+        self.db = db
+        self.stats = stats if stats is not None else DatabaseStats.build(db)
+        self.estimator: CardinalityEstimator = (
+            estimator
+            if estimator is not None
+            else TraditionalCardinalityEstimator(db, self.stats)
+        )
+        self.constants = constants
+        self.coster = PlanCoster(db, self.estimator, constants)
+
+    def with_estimator(self, estimator: CardinalityEstimator) -> "Optimizer":
+        """A new optimizer sharing stats but using a different estimator."""
+        return Optimizer(self.db, estimator, self.stats, self.constants)
+
+    def plan(
+        self,
+        query: Query,
+        hints: HintSet | None = None,
+        algorithm: str = "dp",
+    ) -> Plan:
+        """Produce a physical plan. ``algorithm``: dp | greedy | left_deep."""
+        if algorithm == "dp":
+            return enumerate_dp(query, self.coster, hints)
+        if algorithm == "greedy":
+            return enumerate_greedy(query, self.coster, hints)
+        if algorithm == "left_deep":
+            return enumerate_dp(query, self.coster, hints, left_deep_only=True)
+        raise ValueError(f"unknown algorithm {algorithm!r}")
+
+    def cost(self, plan: Plan) -> float:
+        """Estimated cost of an arbitrary plan under the current estimator."""
+        return self.coster.cost(plan)

@@ -1,0 +1,162 @@
+"""Optimizer statistics: equi-depth histograms, MCVs and distinct counts.
+
+The classic ANALYZE-style summaries PostgreSQL keeps per column, built once
+over the data and refreshable after appends (the drift experiments exercise
+stale-statistics behaviour by *not* refreshing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.storage.catalog import Database
+from repro.storage.table import Table
+
+__all__ = ["ColumnStats", "TableStats", "DatabaseStats"]
+
+
+@dataclass
+class ColumnStats:
+    """Per-column summary: bounds, NDV, MCVs and an equi-depth histogram.
+
+    ``histogram_bounds`` holds ``n_bins + 1`` edges of equi-depth buckets
+    computed over the non-MCV values; ``mcv_values``/``mcv_freqs`` hold the
+    most common values and their frequency *fractions* (of all rows).
+    """
+
+    n_rows: int
+    n_distinct: int
+    min_value: float
+    max_value: float
+    mcv_values: np.ndarray
+    mcv_freqs: np.ndarray
+    histogram_bounds: np.ndarray
+    #: fraction of rows not covered by the MCV list
+    non_mcv_fraction: float
+
+    @classmethod
+    def build(cls, values: np.ndarray, n_bins: int = 32, n_mcv: int = 10) -> "ColumnStats":
+        values = np.asarray(values)
+        n = values.shape[0]
+        if n == 0:
+            return cls(0, 0, 0.0, 0.0, np.zeros(0), np.zeros(0), np.zeros(0), 0.0)
+        uniq, counts = np.unique(values, return_counts=True)
+        order = np.argsort(counts)[::-1]
+        take = min(n_mcv, uniq.shape[0])
+        mcv_idx = order[:take]
+        mcv_values = uniq[mcv_idx].astype(float)
+        mcv_freqs = counts[mcv_idx] / n
+        rest_mask = ~np.isin(values, uniq[mcv_idx])
+        rest = np.sort(values[rest_mask].astype(float))
+        if rest.size >= 2:
+            qs = np.linspace(0.0, 1.0, n_bins + 1)
+            bounds = np.quantile(rest, qs)
+        elif rest.size == 1:
+            bounds = np.array([rest[0], rest[0]])
+        else:
+            bounds = np.zeros(0)
+        return cls(
+            n_rows=n,
+            n_distinct=int(uniq.shape[0]),
+            min_value=float(values.min()),
+            max_value=float(values.max()),
+            mcv_values=mcv_values,
+            mcv_freqs=mcv_freqs,
+            histogram_bounds=bounds,
+            non_mcv_fraction=float(rest_mask.mean()),
+        )
+
+    # -- selectivity primitives ---------------------------------------------------
+
+    def eq_selectivity(self, value: float) -> float:
+        """Selectivity of ``col = value``."""
+        if self.n_rows == 0:
+            return 0.0
+        hit = np.nonzero(self.mcv_values == value)[0]
+        if hit.size:
+            return float(self.mcv_freqs[hit[0]])
+        n_non_mcv_distinct = max(self.n_distinct - self.mcv_values.shape[0], 1)
+        return self.non_mcv_fraction / n_non_mcv_distinct
+
+    def range_selectivity(self, lo: float, hi: float) -> float:
+        """Selectivity of ``lo <= col <= hi`` (either side may be +/-inf)."""
+        if self.n_rows == 0:
+            return 0.0
+        sel = 0.0
+        # MCV contribution: exact.
+        if self.mcv_values.size:
+            in_range = (self.mcv_values >= lo) & (self.mcv_values <= hi)
+            sel += float(self.mcv_freqs[in_range].sum())
+        # Histogram contribution: linear interpolation within buckets.
+        bounds = self.histogram_bounds
+        if bounds.size >= 2 and self.non_mcv_fraction > 0:
+            n_bins = bounds.size - 1
+            frac = 0.0
+            for b in range(n_bins):
+                b_lo, b_hi = bounds[b], bounds[b + 1]
+                if b_hi < lo or b_lo > hi:
+                    continue
+                if b_hi == b_lo:
+                    frac += 1.0
+                    continue
+                covered_lo = max(b_lo, lo)
+                covered_hi = min(b_hi, hi)
+                frac += max(covered_hi - covered_lo, 0.0) / (b_hi - b_lo)
+            sel += (frac / n_bins) * self.non_mcv_fraction
+        return min(max(sel, 0.0), 1.0)
+
+
+@dataclass
+class TableStats:
+    """Statistics for all columns of one table."""
+
+    table: str
+    n_rows: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, table: Table, n_bins: int = 32, n_mcv: int = 10) -> "TableStats":
+        stats = cls(table=table.name, n_rows=table.n_rows)
+        for name in table.column_names:
+            stats.columns[name] = ColumnStats.build(
+                table.values(name), n_bins=n_bins, n_mcv=n_mcv
+            )
+        return stats
+
+    def column(self, name: str) -> ColumnStats:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(
+                f"no statistics for column {self.table}.{name}"
+            ) from None
+
+
+class DatabaseStats:
+    """ANALYZE output for a whole database."""
+
+    def __init__(self, tables: dict[str, TableStats]) -> None:
+        self.tables = tables
+
+    @classmethod
+    def build(cls, db: Database, n_bins: int = 32, n_mcv: int = 10) -> "DatabaseStats":
+        return cls(
+            {
+                name: TableStats.build(table, n_bins=n_bins, n_mcv=n_mcv)
+                for name, table in db.tables.items()
+            }
+        )
+
+    def table(self, name: str) -> TableStats:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(f"no statistics for table {name!r}") from None
+
+    def refresh(self, db: Database, tables: list[str] | None = None) -> None:
+        """Re-ANALYZE the given tables (all when None); used after appends."""
+        names = tables if tables is not None else list(db.tables)
+        for name in names:
+            self.tables[name] = TableStats.build(db.table(name))

@@ -1,0 +1,134 @@
+"""The PilotScope console: the single entry point database users touch.
+
+The console registers drivers, starts/stops them, and executes SQL.  From
+the user's perspective nothing changes -- ``console.execute(sql)`` returns
+the query result either way; whether an AI4DB driver served the query is
+fully transparent (§3: "the execution of any AI4DB algorithm is totally
+transparent to the database user").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.pilotscope.driver import Driver, DriverConfig
+from repro.pilotscope.interactor import DBInteractor, ExecutionOutcome
+from repro.sql.parser import parse_query
+from repro.sql.query import Query
+
+__all__ = ["PilotScopeConsole", "QueryLogEntry"]
+
+
+@dataclass(frozen=True)
+class QueryLogEntry:
+    """One executed user query, for audit / experiments."""
+
+    sql: str
+    served_by: str  # driver name or "native"
+    cardinality: int
+    latency_ms: float
+
+
+@dataclass
+class _DriverSlot:
+    driver: Driver
+    active: bool = False
+
+
+class PilotScopeConsole:
+    """Operates drivers and routes user queries."""
+
+    def __init__(self, interactor: DBInteractor) -> None:
+        self.interactor = interactor
+        self._drivers: dict[str, _DriverSlot] = {}
+        self.query_log: list[QueryLogEntry] = []
+        self._updates_every = 0
+        self._queries_since_update = 0
+
+    # -- driver management -----------------------------------------------------------
+
+    def register_driver(self, driver: Driver) -> None:
+        if driver.name in self._drivers:
+            raise ValueError(f"driver {driver.name!r} already registered")
+        self._drivers[driver.name] = _DriverSlot(driver=driver)
+
+    def start_driver(
+        self, name: str, config: DriverConfig | None = None
+    ) -> None:
+        slot = self._slot(name)
+        slot.driver.init(self.interactor, config)
+        # Only one optimizer-replacing driver may be active at a time --
+        # they would fight over the same injection point.
+        if slot.driver.injection_type == "query_optimizer":
+            for other_name, other in self._drivers.items():
+                if (
+                    other_name != name
+                    and other.active
+                    and other.driver.injection_type == "query_optimizer"
+                ):
+                    raise ValueError(
+                        f"cannot start {name!r}: optimizer driver "
+                        f"{other_name!r} is already active"
+                    )
+        slot.active = True
+
+    def stop_driver(self, name: str) -> None:
+        self._slot(name).active = False
+
+    def _slot(self, name: str) -> _DriverSlot:
+        try:
+            return self._drivers[name]
+        except KeyError:
+            raise KeyError(
+                f"no driver {name!r}; registered: {sorted(self._drivers)}"
+            ) from None
+
+    def active_drivers(self) -> list[str]:
+        return [n for n, s in self._drivers.items() if s.active]
+
+    def enable_background_updates(self, every_n_queries: int) -> None:
+        """Run each active driver's background_update periodically."""
+        if every_n_queries < 1:
+            raise ValueError("update period must be >= 1")
+        self._updates_every = every_n_queries
+
+    # -- query execution ---------------------------------------------------------------
+
+    def _serving_driver(self) -> Driver | None:
+        for slot in self._drivers.values():
+            if slot.active and slot.driver.injection_type in (
+                "query_optimizer",
+                "cardinality",
+            ):
+                return slot.driver
+        return None
+
+    def execute(self, sql_or_query: str | Query) -> ExecutionOutcome:
+        """Execute user SQL, transparently through the active driver."""
+        query = (
+            parse_query(sql_or_query)
+            if isinstance(sql_or_query, str)
+            else sql_or_query
+        )
+        driver = self._serving_driver()
+        if driver is not None:
+            outcome = driver.algo(query)
+            served_by = driver.name
+        else:
+            outcome = self.interactor.execute_default(query)
+            served_by = "native"
+        self.query_log.append(
+            QueryLogEntry(
+                sql=query.to_sql(),
+                served_by=served_by,
+                cardinality=outcome.cardinality,
+                latency_ms=outcome.latency_ms,
+            )
+        )
+        self._queries_since_update += 1
+        if self._updates_every and self._queries_since_update >= self._updates_every:
+            self._queries_since_update = 0
+            for slot in self._drivers.values():
+                if slot.active:
+                    slot.driver.background_update()
+        return outcome

@@ -1,0 +1,211 @@
+"""The representative drivers the tutorial demonstrates (§3.2).
+
+- :class:`CardinalityInjectionDriver`: deploys *any* learned cardinality
+  estimator by pushing all sub-query cardinalities in one batch before
+  planning -- "the same driver could support any cardinality estimation
+  method";
+- :class:`BaoDriver` / :class:`LeroDriver`: the two end-to-end optimizer
+  drivers, assembled purely from push/pull operators: Bao pushes hint
+  sets, Lero pushes cardinality scales, both pull the resulting candidate
+  plans, select with their risk model, execute, and feed latencies back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.framework import CandidatePlan
+from repro.costmodel.features import PlanFeaturizer
+from repro.e2e.risk_models import PairwisePlanComparator, TreeConvLatencyModel
+from repro.optimizer.hints import HintSet
+from repro.pilotscope.driver import Driver
+from repro.pilotscope.interactor import ExecutionOutcome
+from repro.sql.query import Query
+
+__all__ = ["CardinalityInjectionDriver", "BaoDriver", "LeroDriver"]
+
+
+class CardinalityInjectionDriver(Driver):
+    """Replace the cardinality estimator via batch injection."""
+
+    injection_type = "cardinality"
+    name = "cardinality_injection"
+
+    def __init__(self, estimator) -> None:
+        super().__init__()
+        if not hasattr(estimator, "estimate"):
+            raise TypeError("estimator must expose .estimate(query)")
+        self.estimator = estimator
+        self._collected: list[tuple[Query, float]] = []
+
+    def algo(self, query: Query) -> ExecutionOutcome:
+        interactor = self._require_started()
+        with interactor.open_session() as session:
+            subqueries = session.pull_subqueries(query)
+            cards = {
+                sub.to_sql(): max(self.estimator.estimate(sub), 0.0)
+                for sub in subqueries
+            }
+            session.push_cardinalities(cards)
+            plan = session.pull_plan(query)
+            result = session.pull_execution(plan)
+        return ExecutionOutcome(
+            cardinality=result.cardinality,
+            latency_ms=result.latency_ms,
+            plan=plan,
+        )
+
+    # -- workflow phases --------------------------------------------------------------
+
+    def collect_training_data(self, queries: list[Query]) -> None:
+        """Execute the workload natively, recording true cardinalities."""
+        interactor = self._require_started()
+        for q in queries:
+            outcome = interactor.execute_default(q)
+            self._collected.append((q, float(outcome.cardinality)))
+
+    def train(self) -> None:
+        if not self._collected:
+            return
+        if hasattr(self.estimator, "fit"):
+            queries = [q for q, _ in self._collected]
+            cards = np.array([c for _, c in self._collected])
+            self.estimator.fit(queries, cards)
+
+    def background_update(self) -> None:
+        """Refresh data-driven models against the current data."""
+        if hasattr(self.estimator, "refresh"):
+            self.estimator.refresh()
+
+
+class _SteeringDriverBase(Driver):
+    """Shared plumbing for the Bao and Lero drivers."""
+
+    injection_type = "query_optimizer"
+
+    def __init__(self, retrain_every: int = 25, seed: int = 0) -> None:
+        super().__init__()
+        self.retrain_every = retrain_every
+        self.seed = seed
+        self._since_retrain = 0
+        self.risk_model = None  # set in _prepare
+
+    def _prepare(self) -> None:
+        # Featurization metadata (schema, statistics) is catalog
+        # information pulled from the attached database.
+        host = self.interactor
+        featurizer = PlanFeaturizer(host.db, host.optimizer.estimator)  # type: ignore[attr-defined]
+        self.risk_model = self._build_risk_model(featurizer)
+
+    def _build_risk_model(self, featurizer: PlanFeaturizer):
+        raise NotImplementedError
+
+    def _candidates(self, session, query: Query) -> list[CandidatePlan]:
+        raise NotImplementedError
+
+    def algo(self, query: Query) -> ExecutionOutcome:
+        interactor = self._require_started()
+        with interactor.open_session() as session:
+            candidates = self._candidates(session, query)
+            scores = self.risk_model.scores(candidates)
+            best = candidates[int(np.argmin(scores))]
+            result = session.pull_execution(best.plan)
+        self.risk_model.observe(best, result.latency_ms)
+        self._since_retrain += 1
+        if self._since_retrain >= self.retrain_every:
+            self._since_retrain = 0
+            self.risk_model.retrain()
+        return ExecutionOutcome(
+            cardinality=result.cardinality,
+            latency_ms=result.latency_ms,
+            plan=best.plan,
+        )
+
+    def background_update(self) -> None:
+        self.risk_model.retrain()
+
+
+class BaoDriver(_SteeringDriverBase):
+    """Bao through PilotScope: push hint sets, pull candidate plans."""
+
+    name = "bao_driver"
+
+    def __init__(
+        self,
+        arms: list[HintSet] | None = None,
+        retrain_every: int = 25,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(retrain_every=retrain_every, seed=seed)
+        self.arms = arms if arms is not None else HintSet.bao_arms()
+
+    def _build_risk_model(self, featurizer: PlanFeaturizer):
+        return TreeConvLatencyModel(featurizer, thompson=True, seed=self.seed)
+
+    def _candidates(self, session, query: Query) -> list[CandidatePlan]:
+        out, seen = [], set()
+        for i, arm in enumerate(self.arms):
+            session.reset_pushes()
+            session.push_hint_set(arm)
+            plan = session.pull_plan(query)
+            sig = plan.signature()
+            if sig in seen:
+                continue
+            seen.add(sig)
+            out.append(
+                CandidatePlan(plan=plan, source="default" if i == 0 else arm.name())
+            )
+        return out
+
+
+class LeroDriver(_SteeringDriverBase):
+    """Lero through PilotScope: push cardinality scales, pull plans."""
+
+    name = "lero_driver"
+
+    def __init__(
+        self,
+        factors: tuple[float, ...] = (1.0, 0.01, 0.1, 10.0, 100.0),
+        retrain_every: int = 25,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(retrain_every=retrain_every, seed=seed)
+        if factors[0] != 1.0:
+            raise ValueError("first factor must be 1.0 (the default plan)")
+        self.factors = factors
+
+    def _build_risk_model(self, featurizer: PlanFeaturizer):
+        return PairwisePlanComparator(featurizer, seed=self.seed)
+
+    def _candidates(self, session, query: Query) -> list[CandidatePlan]:
+        out, seen = [], set()
+        for f in self.factors:
+            session.reset_pushes()
+            if f != 1.0:
+                session.push_cardinality_scale(f)
+            plan = session.pull_plan(query)
+            sig = plan.signature()
+            if sig in seen:
+                continue
+            seen.add(sig)
+            out.append(
+                CandidatePlan(
+                    plan=plan, source="default" if f == 1.0 else f"scale={f:g}"
+                )
+            )
+        return out
+
+    def collect_training_data(self, queries: list[Query]) -> None:
+        """Lero's pair-collection phase: execute candidates per query."""
+        interactor = self._require_started()
+        with interactor.open_session() as session:
+            for query in queries:
+                candidates = self._candidates(session, query)[:3]
+                if len(candidates) < 2:
+                    continue
+                for cand in candidates:
+                    result = session.pull_execution(cand.plan)
+                    self.risk_model.observe(cand, result.latency_ms)
+
+    def train(self) -> None:
+        self.risk_model.retrain()

@@ -1,0 +1,23 @@
+"""Performance-regression elimination (paper §2.2.2).
+
+Plugins deployed *on top of* any learned optimizer that decide, per query,
+whether the learned plan is safe to run or the native plan should be kept:
+
+- :class:`Eraser` [62]: two-stage -- a coarse filter rejecting plans with
+  (nearly) unseen structural features, then plan clustering with
+  per-cluster reliability tracking;
+- :class:`PerfGuard` [18]: a learned pairwise guard predicting whether the
+  candidate would regress against the native plan.
+
+Both implement the guard interface of
+:class:`repro.e2e.loop.OptimizationLoop`: called as
+``guard(query, candidate, native_plan)`` before execution and
+``guard.record(query, candidate, latency, native_latency)`` after, they
+learn which plans to distrust from the same feedback stream the optimizer
+itself consumes.
+"""
+
+from repro.regression.eraser import Eraser
+from repro.regression.perfguard import PerfGuard
+
+__all__ = ["Eraser", "PerfGuard"]

@@ -1,0 +1,128 @@
+"""Eraser [62]: eliminating learned-optimizer regressions in two stages.
+
+Stage 1 (coarse filter): a candidate plan containing structural features
+(operator/table-set signatures) observed fewer than ``min_feature_count``
+times is *highly risky* -- the learned model cannot have learned anything
+about it -- and is replaced by the native plan.
+
+Stage 2 (plan clustering): executed candidates are clustered in plan
+feature space; each cluster tracks the observed regression ratios of its
+members against the native plan.  When a new candidate falls into a
+cluster whose tail regression exceeds ``regression_threshold``, the native
+plan is kept instead.
+
+Deployable on top of any learned optimizer via the
+:class:`repro.e2e.loop.OptimizationLoop` ``guard`` hook -- exactly the
+plugin positioning the paper describes.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.framework import CandidatePlan
+from repro.costmodel.features import PlanFeaturizer
+from repro.engine.plans import JoinNode, Plan, PlanNode, ScanNode
+from repro.ml.cluster import KMeans
+from repro.sql.query import Query
+
+__all__ = ["Eraser"]
+
+
+def _plan_features(plan: Plan) -> set[str]:
+    """Structural feature signatures: per-node operator + table set."""
+    feats: set[str] = set()
+    for node in plan.walk():
+        if isinstance(node, ScanNode):
+            feats.add(f"{node.method.value}:{node.table}")
+        else:
+            assert isinstance(node, JoinNode)
+            feats.add(f"{node.method.value}:{'+'.join(sorted(node.tables))}")
+    return feats
+
+
+class Eraser:
+    """Two-stage regression eliminator; use as an OptimizationLoop guard."""
+
+    def __init__(
+        self,
+        featurizer: PlanFeaturizer,
+        *,
+        min_feature_count: int = 1,
+        n_clusters: int = 8,
+        regression_threshold: float = 1.4,
+        recluster_every: int = 30,
+        min_cluster_history: int = 3,
+    ) -> None:
+        self.featurizer = featurizer
+        self.min_feature_count = min_feature_count
+        self.n_clusters = n_clusters
+        self.regression_threshold = regression_threshold
+        self.recluster_every = recluster_every
+        self.min_cluster_history = min_cluster_history
+        self._feature_counts: dict[str, int] = {}
+        self._vectors: list[np.ndarray] = []
+        self._regressions: list[float] = []  # log(candidate / native)
+        self._kmeans: KMeans | None = None
+        self._since_recluster = 0
+        self.interventions = 0
+        self.decisions = 0
+
+    # -- guard interface --------------------------------------------------------------
+
+    def __call__(
+        self, query: Query, candidate: CandidatePlan, native_plan: Plan
+    ) -> CandidatePlan:
+        self.decisions += 1
+        if candidate.plan.signature() == native_plan.signature():
+            return candidate
+        # Stage 1: unseen-feature coarse filter.
+        for feat in _plan_features(candidate.plan):
+            if self._feature_counts.get(feat, 0) < self.min_feature_count:
+                self.interventions += 1
+                return CandidatePlan(plan=native_plan, source="eraser:coarse")
+        # Stage 2: cluster reliability.
+        if self._kmeans is not None:
+            vec = self.featurizer.flat(candidate.plan)
+            cluster = int(self._kmeans.predict(vec[None, :])[0])
+            members = [
+                r
+                for v, r in zip(self._vectors, self._regressions)
+                if int(self._kmeans.predict(v[None, :])[0]) == cluster
+            ]
+            if len(members) >= self.min_cluster_history:
+                tail = float(np.percentile(members, 90))
+                if tail > math.log(self.regression_threshold):
+                    self.interventions += 1
+                    return CandidatePlan(plan=native_plan, source="eraser:cluster")
+        return candidate
+
+    def record(
+        self,
+        query: Query,
+        candidate: CandidatePlan,
+        latency_ms: float,
+        native_latency_ms: float,
+    ) -> None:
+        """Feed back an executed decision (called by the loop)."""
+        for feat in _plan_features(candidate.plan):
+            self._feature_counts[feat] = self._feature_counts.get(feat, 0) + 1
+        self._vectors.append(self.featurizer.flat(candidate.plan))
+        self._regressions.append(
+            math.log(max(latency_ms, 1e-9) / max(native_latency_ms, 1e-9))
+        )
+        self._since_recluster += 1
+        if self._since_recluster >= self.recluster_every and len(self._vectors) >= 10:
+            self._recluster()
+            self._since_recluster = 0
+
+    def _recluster(self) -> None:
+        x = np.stack(self._vectors[-500:])
+        k = min(self.n_clusters, x.shape[0])
+        self._kmeans = KMeans(n_clusters=k, seed=0).fit(x)
+
+    @property
+    def intervention_rate(self) -> float:
+        return self.interventions / self.decisions if self.decisions else 0.0

@@ -1,0 +1,87 @@
+"""PerfGuard [18]: a learned pairwise regression guard.
+
+A pairwise comparison model (graph/tree-structured in the paper; our
+shared tree-conv comparator) is trained on (candidate, native, outcome)
+pairs from the deployment's own feedback stream and vetoes any candidate
+predicted to be slower than the native plan with probability above the
+confidence threshold -- "deploying ML-for-systems without performance
+regressions, almost".
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import CandidatePlan
+from repro.costmodel.features import PlanFeaturizer, plan_to_tree_arrays
+from repro.e2e.risk_models import PairwisePlanComparator
+from repro.engine.plans import Plan
+from repro.sql.query import Query
+
+__all__ = ["PerfGuard"]
+
+
+class PerfGuard:
+    """Pairwise veto guard; use as an OptimizationLoop guard."""
+
+    def __init__(
+        self,
+        featurizer: PlanFeaturizer,
+        *,
+        confidence: float = 0.45,
+        retrain_every: int = 30,
+        seed: int = 0,
+    ) -> None:
+        """``confidence``: veto when P(candidate slower than native)
+        exceeds this threshold (0.5 = veto whenever the model leans
+        negative; lower = more conservative)."""
+        self.featurizer = featurizer
+        self.confidence = confidence
+        self.retrain_every = retrain_every
+        self.comparator = PairwisePlanComparator(featurizer, seed=seed)
+        self._since_retrain = 0
+        self.interventions = 0
+        self.decisions = 0
+
+    def __call__(
+        self, query: Query, candidate: CandidatePlan, native_plan: Plan
+    ) -> CandidatePlan:
+        self.decisions += 1
+        if candidate.plan.signature() == native_plan.signature():
+            return candidate
+        p_candidate_faster = self.comparator.compare(candidate.plan, native_plan)
+        if p_candidate_faster < 1.0 - self.confidence:
+            self.interventions += 1
+            return CandidatePlan(plan=native_plan, source="perfguard")
+        return candidate
+
+    def record(
+        self,
+        query: Query,
+        candidate: CandidatePlan,
+        latency_ms: float,
+        native_latency_ms: float,
+    ) -> None:
+        """Every executed decision yields a labelled (candidate, native)
+        pair -- the native latency is always measured by the loop."""
+        key = query.to_sql()
+        cand_tree = plan_to_tree_arrays(candidate.plan, self.featurizer)
+        self.comparator._by_query.setdefault(key, []).append(
+            (cand_tree, float(latency_ms))
+        )
+        self._since_retrain += 1
+        if self._since_retrain >= self.retrain_every:
+            self.comparator.retrain()
+            self._since_retrain = 0
+
+    def record_native(
+        self, query: Query, native_plan: Plan, native_latency_ms: float
+    ) -> None:
+        """Record the native plan's measured latency for the same query."""
+        key = query.to_sql()
+        tree = plan_to_tree_arrays(native_plan, self.featurizer)
+        self.comparator._by_query.setdefault(key, []).append(
+            (tree, float(native_latency_ms))
+        )
+
+    @property
+    def intervention_rate(self) -> float:
+        return self.interventions / self.decisions if self.decisions else 0.0

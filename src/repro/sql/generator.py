@@ -1,0 +1,231 @@
+"""Workload generators: JOB-style multi-join and single-table range queries.
+
+The generator draws connected subgraphs of the database's declared join
+graph and attaches data-derived predicates (constants sampled from actual
+column values) so that generated queries have a wide, realistic spread of
+selectivities -- the standard recipe used by MSCN's and the STATS
+benchmark's training workloads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sql.query import ColumnRef, Join, Op, OrPredicate, Predicate, Query
+from repro.storage.catalog import Database
+
+__all__ = ["WorkloadGenerator"]
+
+
+class WorkloadGenerator:
+    """Deterministic random SPJ workload generator over a database.
+
+    Parameters
+    ----------
+    db:
+        The database whose join graph and column values drive generation.
+    seed:
+        Seed for the internal RNG; identical seeds reproduce workloads.
+    """
+
+    #: operators drawn for numeric predicates, with draw weights
+    _RANGE_OPS = [Op.EQ, Op.LE, Op.GE, Op.BETWEEN, Op.IN]
+    _RANGE_WEIGHTS = [0.25, 0.2, 0.2, 0.25, 0.1]
+
+    def __init__(self, db: Database, seed: int = 0, or_rate: float = 0.0) -> None:
+        """``or_rate``: probability that a generated predicate becomes a
+        same-column disjunction (mixed-predicate workloads, [42]).  The
+        default of 0 keeps historical workloads byte-identical."""
+        if not 0.0 <= or_rate <= 1.0:
+            raise ValueError("or_rate must be in [0, 1]")
+        self.db = db
+        self.or_rate = or_rate
+        self.rng = np.random.default_rng(seed)
+        # Columns usable in predicates: exclude keys and FK columns (those
+        # appear in join edges) to mirror how benchmark workloads are built.
+        join_cols = set()
+        for e in db.joins:
+            join_cols.add((e.left_table, e.left_column))
+            join_cols.add((e.right_table, e.right_column))
+        self._pred_columns: dict[str, list[str]] = {}
+        for tname, table in db.tables.items():
+            usable = [
+                c
+                for c in table.column_names
+                if not table.column(c).is_key and (tname, c) not in join_cols
+            ]
+            self._pred_columns[tname] = usable
+
+    # -- subgraph selection -------------------------------------------------------
+
+    def _random_connected_tables(self, n_tables: int) -> list[str]:
+        names = self.db.table_names
+        if n_tables <= 1:
+            return [names[self.rng.integers(len(names))]]
+        # Random walk over the join graph from a random start.
+        for _ in range(50):
+            start = names[self.rng.integers(len(names))]
+            chosen = {start}
+            frontier_edges = list(self.db.edges_for(start))
+            while len(chosen) < n_tables and frontier_edges:
+                edge = frontier_edges.pop(self.rng.integers(len(frontier_edges)))
+                for t in (edge.left_table, edge.right_table):
+                    if t not in chosen:
+                        chosen.add(t)
+                        frontier_edges.extend(
+                            e
+                            for e in self.db.edges_for(t)
+                            if e.other(t) not in chosen
+                        )
+                frontier_edges = [
+                    e
+                    for e in frontier_edges
+                    if e.left_table not in chosen or e.right_table not in chosen
+                ]
+            if len(chosen) == n_tables:
+                return sorted(chosen)
+        raise ValueError(
+            f"join graph of {self.db.name!r} has no connected subgraph "
+            f"of {n_tables} tables"
+        )
+
+    def _joins_for(self, tables: list[str]) -> list[Join]:
+        """All declared join edges internal to the chosen tables (cycle-keeping)."""
+        tset = set(tables)
+        joins = []
+        for e in self.db.joins:
+            if e.left_table in tset and e.right_table in tset:
+                joins.append(
+                    Join(
+                        ColumnRef(e.left_table, e.left_column),
+                        ColumnRef(e.right_table, e.right_column),
+                    )
+                )
+        return joins
+
+    # -- predicates ------------------------------------------------------------
+
+    def _random_simple_predicate(self, tname: str, column: str) -> Predicate:
+        values = self.db.table(tname).values(column)
+        ref = ColumnRef(tname, column)
+        op = self._RANGE_OPS[
+            self.rng.choice(len(self._RANGE_OPS), p=self._RANGE_WEIGHTS)
+        ]
+        # Sample constants from the data so predicates are rarely vacuous.
+        pick = lambda: float(values[self.rng.integers(values.shape[0])])  # noqa: E731
+        if op is Op.BETWEEN:
+            a, b = pick(), pick()
+            return Predicate(ref, Op.BETWEEN, (min(a, b), max(a, b)))
+        if op is Op.IN:
+            k = int(self.rng.integers(1, 5))
+            return Predicate(ref, Op.IN, frozenset(pick() for _ in range(k)))
+        return Predicate(ref, op, pick())
+
+    def _random_predicate(self, tname: str, column: str):
+        if self.or_rate > 0.0 and self.rng.random() < self.or_rate:
+            ref = ColumnRef(tname, column)
+            parts = set()
+            for _ in range(10):
+                parts.add(self._random_simple_predicate(tname, column))
+                if len(parts) >= 2:
+                    break
+            if len(parts) >= 2:
+                return OrPredicate(ref, tuple(parts))
+        return self._random_simple_predicate(tname, column)
+
+    def _random_predicates(
+        self, tables: list[str], max_per_table: int
+    ) -> list[Predicate]:
+        preds: list[Predicate] = []
+        for tname in tables:
+            usable = self._pred_columns[tname]
+            if not usable:
+                continue
+            n = int(self.rng.integers(0, max_per_table + 1))
+            if n == 0:
+                continue
+            cols = self.rng.choice(
+                usable, size=min(n, len(usable)), replace=False
+            )
+            preds.extend(self._random_predicate(tname, c) for c in cols)
+        return preds
+
+    # -- public API --------------------------------------------------------------
+
+    def random_query(
+        self,
+        min_tables: int = 1,
+        max_tables: int = 4,
+        max_preds_per_table: int = 2,
+        require_predicate: bool = False,
+    ) -> Query:
+        """One random connected SPJ query."""
+        if min_tables < 1 or max_tables < min_tables:
+            raise ValueError("need 1 <= min_tables <= max_tables")
+        cap = len(self.db.table_names)
+        n_tables = int(self.rng.integers(min_tables, min(max_tables, cap) + 1))
+        tables = self._random_connected_tables(n_tables)
+        joins = self._joins_for(tables)
+        for _ in range(20):
+            preds = self._random_predicates(tables, max_preds_per_table)
+            if preds or not require_predicate:
+                break
+        else:
+            # Fall back: force one predicate on the first table that has
+            # usable columns.
+            preds = []
+            for tname in tables:
+                if self._pred_columns[tname]:
+                    preds = [
+                        self._random_predicate(tname, self._pred_columns[tname][0])
+                    ]
+                    break
+        return Query(tuple(tables), tuple(joins), tuple(preds))
+
+    def workload(
+        self,
+        n_queries: int,
+        min_tables: int = 1,
+        max_tables: int = 4,
+        max_preds_per_table: int = 2,
+        require_predicate: bool = False,
+    ) -> list[Query]:
+        """A list of random queries (duplicates allowed, as in real logs)."""
+        return [
+            self.random_query(
+                min_tables, max_tables, max_preds_per_table, require_predicate
+            )
+            for _ in range(n_queries)
+        ]
+
+    def single_table_workload(
+        self, table: str, n_queries: int, max_predicates: int = 3
+    ) -> list[Query]:
+        """Single-table range workload ([61]-style static evaluation)."""
+        usable = self._pred_columns[table]
+        if not usable:
+            raise ValueError(f"table {table!r} has no predicate-eligible columns")
+        queries = []
+        for _ in range(n_queries):
+            n = int(self.rng.integers(1, min(max_predicates, len(usable)) + 1))
+            cols = self.rng.choice(usable, size=n, replace=False)
+            preds = tuple(self._random_predicate(table, c) for c in cols)
+            queries.append(Query((table,), (), preds))
+        return queries
+
+    def join_template_workload(
+        self, tables: list[str], n_queries: int, max_preds_per_table: int = 2
+    ) -> list[Query]:
+        """Queries over a fixed table set with varying predicates."""
+        joins = self._joins_for(tables)
+        probe = Query(tuple(tables), tuple(joins), ())
+        if not probe.is_connected():
+            raise ValueError(f"tables {tables} are not connected in the join graph")
+        return [
+            Query(
+                tuple(tables),
+                tuple(joins),
+                tuple(self._random_predicates(list(tables), max_preds_per_table)),
+            )
+            for _ in range(n_queries)
+        ]

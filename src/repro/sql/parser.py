@@ -1,0 +1,223 @@
+"""Parser for the SPJ COUNT(*) SQL subset.
+
+Grammar (case-insensitive keywords)::
+
+    query     := SELECT COUNT(*) FROM table (, table)* [WHERE conjunct (AND conjunct)*]
+    conjunct  := join | predicate | or_group
+    join      := colref = colref
+    predicate := colref op number
+               | colref BETWEEN number AND number
+               | colref IN ( number (, number)* )
+    or_group  := ( predicate (OR predicate)+ )        -- same column throughout
+    colref    := ident . ident
+    op        := = | < | <= | > | >=
+
+Anything outside this subset raises :class:`SQLSyntaxError` with a position
+hint -- the engine never silently mis-parses a query.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.sql.query import ColumnRef, Join, Op, OrPredicate, Predicate, Query
+
+__all__ = ["SQLSyntaxError", "parse_query"]
+
+
+class SQLSyntaxError(ValueError):
+    """Raised when the input is not in the supported SQL subset."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        (?P<number>-?\d+(\.\d+)?)
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|<|>|=)
+      | (?P<punct>[(),.*])
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(sql: str) -> list[tuple[str, str, int]]:
+    tokens: list[tuple[str, str, int]] = []
+    pos = 0
+    while pos < len(sql):
+        if sql[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None or match.start(1) != pos:
+            raise SQLSyntaxError(f"unexpected character {sql[pos]!r} at position {pos}")
+        kind = next(k for k, v in match.groupdict().items() if v is not None)
+        tokens.append((kind, match.group(1), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, sql: str) -> None:
+        self.sql = sql
+        self.tokens = _tokenize(sql)
+        self.i = 0
+
+    def _error(self, message: str) -> SQLSyntaxError:
+        pos = self.tokens[self.i][2] if self.i < len(self.tokens) else len(self.sql)
+        return SQLSyntaxError(f"{message} at position {pos}: ...{self.sql[pos:pos+25]!r}")
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.i >= len(self.tokens):
+            return None
+        kind, text, _ = self.tokens[self.i]
+        return kind, text
+
+    def next(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise SQLSyntaxError("unexpected end of query")
+        self.i += 1
+        return tok
+
+    def expect_keyword(self, word: str) -> None:
+        tok = self.peek()
+        if tok is None or tok[0] != "ident" or tok[1].upper() != word:
+            raise self._error(f"expected {word}")
+        self.i += 1
+
+    def expect_punct(self, ch: str) -> None:
+        tok = self.peek()
+        if tok is None or tok[1] != ch:
+            raise self._error(f"expected {ch!r}")
+        self.i += 1
+
+    def at_keyword(self, word: str) -> bool:
+        tok = self.peek()
+        return tok is not None and tok[0] == "ident" and tok[1].upper() == word
+
+    def ident(self) -> str:
+        kind, text = self.next()
+        if kind != "ident":
+            self.i -= 1
+            raise self._error("expected identifier")
+        return text
+
+    def number(self) -> float:
+        kind, text = self.next()
+        if kind != "number":
+            self.i -= 1
+            raise self._error("expected number")
+        return float(text)
+
+    def colref(self) -> ColumnRef:
+        table = self.ident()
+        self.expect_punct(".")
+        column = self.ident()
+        return ColumnRef(table, column)
+
+    # -- grammar ---------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self.expect_keyword("SELECT")
+        self.expect_keyword("COUNT")
+        self.expect_punct("(")
+        self.expect_punct("*")
+        self.expect_punct(")")
+        self.expect_keyword("FROM")
+        tables = [self.ident()]
+        while self.peek() is not None and self.peek()[1] == ",":
+            self.i += 1
+            tables.append(self.ident())
+
+        joins: list[Join] = []
+        predicates: list[Predicate] = []
+        if self.peek() is not None:
+            self.expect_keyword("WHERE")
+            self._conjunct(joins, predicates)
+            while self.at_keyword("AND"):
+                self.i += 1
+                self._conjunct(joins, predicates)
+        if self.peek() is not None:
+            raise self._error("trailing input")
+        try:
+            return Query(tuple(tables), tuple(joins), tuple(predicates))
+        except ValueError as exc:
+            raise SQLSyntaxError(str(exc)) from exc
+
+    def _simple_predicate(self, left: ColumnRef) -> Predicate:
+        """Predicate body after its column reference has been consumed."""
+        if self.at_keyword("BETWEEN"):
+            self.i += 1
+            lo = self.number()
+            self.expect_keyword("AND")
+            hi = self.number()
+            try:
+                return Predicate(left, Op.BETWEEN, (lo, hi))
+            except ValueError as exc:
+                raise SQLSyntaxError(str(exc)) from exc
+        if self.at_keyword("IN"):
+            self.i += 1
+            self.expect_punct("(")
+            values = [self.number()]
+            while self.peek() is not None and self.peek()[1] == ",":
+                self.i += 1
+                values.append(self.number())
+            self.expect_punct(")")
+            return Predicate(left, Op.IN, frozenset(values))
+        kind, text = self.next()
+        if kind != "op":
+            self.i -= 1
+            raise self._error("expected comparison operator, BETWEEN or IN")
+        value = self.number()
+        op = {"=": Op.EQ, "<": Op.LT, "<=": Op.LE, ">": Op.GT, ">=": Op.GE}[text]
+        return Predicate(left, op, value)
+
+    def _or_group(self) -> OrPredicate:
+        """Parenthesized same-column disjunction."""
+        self.expect_punct("(")
+        first_col = self.colref()
+        parts = [self._simple_predicate(first_col)]
+        while self.at_keyword("OR"):
+            self.i += 1
+            col = self.colref()
+            parts.append(self._simple_predicate(col))
+        self.expect_punct(")")
+        if len(parts) < 2:
+            raise self._error("OR group needs at least two predicates")
+        try:
+            return OrPredicate(first_col, tuple(parts))
+        except ValueError as exc:
+            raise SQLSyntaxError(str(exc)) from exc
+
+    def _conjunct(self, joins: list[Join], predicates: list) -> None:
+        tok = self.peek()
+        if tok is not None and tok[1] == "(":
+            predicates.append(self._or_group())
+            return
+        left = self.colref()
+        if self.at_keyword("BETWEEN") or self.at_keyword("IN"):
+            predicates.append(self._simple_predicate(left))
+            return
+        kind, text = self.next()
+        if kind != "op":
+            self.i -= 1
+            raise self._error("expected comparison operator, BETWEEN or IN")
+        tok = self.peek()
+        if tok is None:
+            raise SQLSyntaxError("unexpected end of query after operator")
+        if text == "=" and tok[0] == "ident":
+            right = self.colref()
+            joins.append(Join(left, right))
+            return
+        value = self.number()
+        op = {"=": Op.EQ, "<": Op.LT, "<=": Op.LE, ">": Op.GT, ">=": Op.GE}[text]
+        predicates.append(Predicate(left, op, value))
+
+
+def parse_query(sql: str) -> Query:
+    """Parse SQL text into a :class:`Query`; raises :class:`SQLSyntaxError`."""
+    if not sql or not sql.strip():
+        raise SQLSyntaxError("empty query")
+    return _Parser(sql).parse()

@@ -1,0 +1,289 @@
+"""Query intermediate representation for SPJ COUNT queries.
+
+A :class:`Query` is a connected set of tables, a list of equi-join
+conditions, and a conjunction of single-column predicates.  This matches the
+query class every surveyed estimator / optimizer handles (MSCN, Naru, Bao,
+Lero, ... all operate on exactly this class).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Op", "ColumnRef", "Predicate", "OrPredicate", "Join", "Query"]
+
+
+class Op(enum.Enum):
+    """Comparison operators supported in predicates."""
+
+    EQ = "="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    BETWEEN = "between"
+    IN = "in"
+    OR = "or"  # marker op carried by OrPredicate
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """Reference to ``table.column``."""
+
+    table: str
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A single-column filter ``table.column <op> value``.
+
+    ``value`` is a float for comparison ops, a ``(lo, hi)`` tuple for
+    BETWEEN (inclusive on both ends) and a frozenset of floats for IN.
+    """
+
+    column: ColumnRef
+    op: Op
+    value: float | tuple[float, float] | frozenset[float]
+
+    def __post_init__(self) -> None:
+        if self.op is Op.BETWEEN:
+            if not (isinstance(self.value, tuple) and len(self.value) == 2):
+                raise ValueError("BETWEEN needs a (lo, hi) tuple")
+            lo, hi = self.value
+            if lo > hi:
+                raise ValueError(f"BETWEEN range is empty: ({lo}, {hi})")
+        elif self.op is Op.IN:
+            if not isinstance(self.value, frozenset):
+                object.__setattr__(self, "value", frozenset(self.value))
+            if not self.value:
+                raise ValueError("IN list must be non-empty")
+        else:
+            if not isinstance(self.value, (int, float)):
+                raise ValueError(f"{self.op} needs a scalar value")
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        """Boolean mask of rows satisfying the predicate."""
+        if self.op is Op.EQ:
+            return values == self.value
+        if self.op is Op.LT:
+            return values < self.value
+        if self.op is Op.LE:
+            return values <= self.value
+        if self.op is Op.GT:
+            return values > self.value
+        if self.op is Op.GE:
+            return values >= self.value
+        if self.op is Op.BETWEEN:
+            lo, hi = self.value  # type: ignore[misc]
+            return (values >= lo) & (values <= hi)
+        if self.op is Op.IN:
+            return np.isin(values, list(self.value))  # type: ignore[arg-type]
+        raise AssertionError(f"unhandled op {self.op}")
+
+    def to_range(self) -> tuple[float, float]:
+        """Closed interval ``[lo, hi]`` selected on the column.
+
+        IN predicates return their hull; callers needing exact IN semantics
+        must check ``op`` first.  Open-ended sides are +/- inf.
+        """
+        if self.op is Op.EQ:
+            v = float(self.value)  # type: ignore[arg-type]
+            return (v, v)
+        if self.op is Op.LT:
+            return (-np.inf, float(self.value) - 1e-9)  # type: ignore[arg-type]
+        if self.op is Op.LE:
+            return (-np.inf, float(self.value))  # type: ignore[arg-type]
+        if self.op is Op.GT:
+            return (float(self.value) + 1e-9, np.inf)  # type: ignore[arg-type]
+        if self.op is Op.GE:
+            return (float(self.value), np.inf)  # type: ignore[arg-type]
+        if self.op is Op.BETWEEN:
+            lo, hi = self.value  # type: ignore[misc]
+            return (float(lo), float(hi))
+        values = sorted(self.value)  # type: ignore[arg-type]
+        return (float(values[0]), float(values[-1]))
+
+    def __str__(self) -> str:
+        if self.op is Op.BETWEEN:
+            lo, hi = self.value  # type: ignore[misc]
+            return f"{self.column} BETWEEN {lo} AND {hi}"
+        if self.op is Op.IN:
+            vals = ", ".join(str(v) for v in sorted(self.value))  # type: ignore[arg-type]
+            return f"{self.column} IN ({vals})"
+        return f"{self.column} {self.op.value} {self.value}"
+
+
+@dataclass(frozen=True)
+class OrPredicate:
+    """Disjunction of simple predicates over one column (Mueller et al. [42]).
+
+    Represents ``c < 5 OR c BETWEEN 10 AND 12 OR ...`` -- the mixed
+    conjunctive/disjunctive predicate class whose featurization [42]
+    studies.  All parts must reference the same column; a disjunction of
+    equality parts should be written as an IN predicate instead (it is
+    semantically identical and estimators handle IN natively).
+    """
+
+    column: ColumnRef
+    parts: tuple[Predicate, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.parts) < 2:
+            raise ValueError("OR needs at least two parts")
+        for p in self.parts:
+            if not isinstance(p, Predicate):
+                raise ValueError("OR parts must be simple predicates")
+            if p.column != self.column:
+                raise ValueError(
+                    f"OR part {p} references {p.column}, expected {self.column}"
+                )
+        # Canonical part order for stable hashing.
+        object.__setattr__(self, "parts", tuple(sorted(self.parts, key=str)))
+
+    @property
+    def op(self) -> Op:
+        return Op.OR
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        mask = self.parts[0].evaluate(values)
+        for p in self.parts[1:]:
+            mask = mask | p.evaluate(values)
+        return mask
+
+    def to_range(self) -> tuple[float, float]:
+        """Hull over the parts (callers needing exact semantics check op)."""
+        lows, highs = zip(*(p.to_range() for p in self.parts))
+        return (min(lows), max(highs))
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(p) for p in self.parts) + ")"
+
+
+@dataclass(frozen=True)
+class Join:
+    """Equi-join condition ``left = right``."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def normalized(self) -> "Join":
+        if self.left <= self.right:
+            return self
+        return Join(self.right, self.left)
+
+    def involves(self, table: str) -> bool:
+        return table in (self.left.table, self.right.table)
+
+    def __str__(self) -> str:
+        return f"{self.left} = {self.right}"
+
+
+@dataclass(frozen=True)
+class Query:
+    """An SPJ COUNT(*) query: tables, equi-joins and conjunctive filters."""
+
+    tables: tuple[str, ...]
+    joins: tuple[Join, ...] = ()
+    predicates: tuple[Predicate, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.tables:
+            raise ValueError("query must reference at least one table")
+        if len(set(self.tables)) != len(self.tables):
+            raise ValueError("duplicate tables (aliases are not supported)")
+        tset = set(self.tables)
+        for j in self.joins:
+            if j.left.table not in tset or j.right.table not in tset:
+                raise ValueError(f"join {j} references a table outside FROM")
+            if j.left.table == j.right.table:
+                raise ValueError(f"self-join not supported: {j}")
+        for p in self.predicates:
+            if p.column.table not in tset:
+                raise ValueError(f"predicate {p} references a table outside FROM")
+        # Canonicalize ordering for stable hashing / featurization.
+        object.__setattr__(self, "tables", tuple(sorted(self.tables)))
+        object.__setattr__(
+            self,
+            "joins",
+            tuple(sorted((j.normalized() for j in self.joins), key=str)),
+        )
+        object.__setattr__(
+            self, "predicates", tuple(sorted(self.predicates, key=str))
+        )
+
+    @classmethod
+    def build(
+        cls,
+        tables: Iterable[str],
+        joins: Iterable[Join] = (),
+        predicates: Iterable[Predicate] = (),
+    ) -> "Query":
+        return cls(tuple(tables), tuple(joins), tuple(predicates))
+
+    @property
+    def n_tables(self) -> int:
+        return len(self.tables)
+
+    def predicates_on(self, table: str) -> tuple[Predicate, ...]:
+        return tuple(p for p in self.predicates if p.column.table == table)
+
+    def joins_on(self, table: str) -> tuple[Join, ...]:
+        return tuple(j for j in self.joins if j.involves(table))
+
+    def subquery(self, tables: Iterable[str]) -> "Query":
+        """Restrict to the given tables, keeping internal joins/predicates.
+
+        Used to enumerate the sub-queries the cardinality estimator is asked
+        about during plan costing.
+        """
+        keep = set(tables)
+        missing = keep - set(self.tables)
+        if missing:
+            raise ValueError(f"subquery tables not in query: {sorted(missing)}")
+        joins = tuple(
+            j
+            for j in self.joins
+            if j.left.table in keep and j.right.table in keep
+        )
+        preds = tuple(p for p in self.predicates if p.column.table in keep)
+        return Query(tuple(sorted(keep)), joins, preds)
+
+    def is_connected(self) -> bool:
+        """True when the join graph over the query's tables is connected."""
+        if len(self.tables) == 1:
+            return True
+        adj: dict[str, set[str]] = {t: set() for t in self.tables}
+        for j in self.joins:
+            adj[j.left.table].add(j.right.table)
+            adj[j.right.table].add(j.left.table)
+        seen = {self.tables[0]}
+        frontier = [self.tables[0]]
+        while frontier:
+            cur = frontier.pop()
+            for nxt in adj[cur]:
+                if nxt not in seen:
+                    seen.add(nxt)
+                    frontier.append(nxt)
+        return len(seen) == len(self.tables)
+
+    def to_sql(self) -> str:
+        """Render as ``SELECT COUNT(*) FROM ... WHERE ...`` text."""
+        where = [str(j) for j in self.joins] + [str(p) for p in self.predicates]
+        sql = f"SELECT COUNT(*) FROM {', '.join(self.tables)}"
+        if where:
+            sql += " WHERE " + " AND ".join(where)
+        return sql
+
+    def __str__(self) -> str:
+        return self.to_sql()

@@ -1,0 +1,36 @@
+"""In-memory columnar storage: tables, catalog, and synthetic datasets.
+
+This package is the data substrate standing in for PostgreSQL's storage
+layer.  It provides:
+
+- :class:`repro.storage.table.Column` / :class:`repro.storage.table.Table` --
+  numpy-backed columnar tables;
+- :class:`repro.storage.catalog.Database` -- a named collection of tables
+  plus the equi-join graph (declared join edges between columns);
+- :mod:`repro.storage.generate` -- generators for skewed and *correlated*
+  synthetic columns (the phenomena that defeat independence-assumption
+  estimators);
+- :mod:`repro.storage.datasets` -- three ready-made databases mirroring the
+  benchmarks the tutorial discusses: ``imdb_lite`` (JOB-style),
+  ``stats_lite`` (STATS-style) and ``tpch_lite`` (star schema).
+"""
+
+from repro.storage.table import Column, Table
+from repro.storage.catalog import Database, JoinEdge
+from repro.storage.datasets import (
+    make_imdb_lite,
+    make_ssb_lite,
+    make_stats_lite,
+    make_tpch_lite,
+)
+
+__all__ = [
+    "Column",
+    "Table",
+    "Database",
+    "JoinEdge",
+    "make_imdb_lite",
+    "make_ssb_lite",
+    "make_stats_lite",
+    "make_tpch_lite",
+]

@@ -1,0 +1,105 @@
+"""Database catalog: named tables plus the declared equi-join graph."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.table import Table
+
+__all__ = ["JoinEdge", "Database"]
+
+
+@dataclass(frozen=True)
+class JoinEdge:
+    """A declared equi-join edge ``left_table.left_column = right_table.right_column``."""
+
+    left_table: str
+    left_column: str
+    right_table: str
+    right_column: str
+
+    def involves(self, table: str) -> bool:
+        return table in (self.left_table, self.right_table)
+
+    def other(self, table: str) -> str:
+        if table == self.left_table:
+            return self.right_table
+        if table == self.right_table:
+            return self.left_table
+        raise ValueError(f"{table!r} not part of edge {self}")
+
+    def column_of(self, table: str) -> str:
+        if table == self.left_table:
+            return self.left_column
+        if table == self.right_table:
+            return self.right_column
+        raise ValueError(f"{table!r} not part of edge {self}")
+
+    def normalized(self) -> "JoinEdge":
+        """Canonical orientation (lexicographic) for set membership."""
+        if (self.left_table, self.left_column) <= (self.right_table, self.right_column):
+            return self
+        return JoinEdge(
+            self.right_table, self.right_column, self.left_table, self.left_column
+        )
+
+
+class Database:
+    """A collection of tables and the join edges between them.
+
+    The join graph declares which column pairs are joinable (typically
+    PK-FK relationships, but STATS-style non-key joins are allowed too);
+    workload generators draw connected subgraphs from it.
+    """
+
+    def __init__(self, name: str, tables: list[Table], joins: list[JoinEdge]) -> None:
+        self.name = name
+        self.tables: dict[str, Table] = {}
+        for t in tables:
+            if t.name in self.tables:
+                raise ValueError(f"duplicate table {t.name!r}")
+            self.tables[t.name] = t
+        for edge in joins:
+            self._validate_edge(edge)
+        self.joins = [e.normalized() for e in joins]
+
+    def _validate_edge(self, edge: JoinEdge) -> None:
+        for tbl, col in (
+            (edge.left_table, edge.left_column),
+            (edge.right_table, edge.right_column),
+        ):
+            if tbl not in self.tables:
+                raise ValueError(f"join edge references unknown table {tbl!r}")
+            if col not in self.tables[tbl]:
+                raise ValueError(f"join edge references unknown column {tbl}.{col}")
+
+    def __repr__(self) -> str:
+        return (
+            f"Database({self.name!r}, tables={list(self.tables)}, "
+            f"joins={len(self.joins)})"
+        )
+
+    def table(self, name: str) -> Table:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(
+                f"database {self.name!r} has no table {name!r}; "
+                f"available: {sorted(self.tables)}"
+            ) from None
+
+    @property
+    def table_names(self) -> list[str]:
+        return list(self.tables)
+
+    def edges_for(self, table: str) -> list[JoinEdge]:
+        return [e for e in self.joins if e.involves(table)]
+
+    def edges_between(self, a: str, b: str) -> list[JoinEdge]:
+        return [e for e in self.joins if e.involves(a) and e.involves(b) and a != b]
+
+    def neighbors(self, table: str) -> set[str]:
+        return {e.other(table) for e in self.edges_for(table)}
+
+    def total_rows(self) -> int:
+        return sum(t.n_rows for t in self.tables.values())

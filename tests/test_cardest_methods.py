@@ -1,0 +1,272 @@
+"""Behavioural tests for every learned cardinality estimator.
+
+Each estimator must (a) respect the estimator protocol, (b) achieve sane
+accuracy on a held-out workload (far better than a constant guesser), and
+(c) exhibit its method-specific behaviours (caching, masking, refresh...).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cardest import (
+    ALECEEstimator,
+    BayesNetEstimator,
+    EnsembleEstimator,
+    FactorJoinEstimator,
+    FSPNEstimator,
+    GBDTQueryEstimator,
+    GLUEEstimator,
+    HistogramEstimator,
+    JoinKDEEstimator,
+    KDEEstimator,
+    LinearQueryEstimator,
+    LPCEEstimator,
+    MLPQueryEstimator,
+    MSCNEstimator,
+    NaruEstimator,
+    NeuroCardEstimator,
+    QuickSelEstimator,
+    RobustMSCNEstimator,
+    SamplingEstimator,
+    SPNEstimator,
+    UAEEstimator,
+    q_error,
+)
+from repro.sql import Query, WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def test_workload(stats_db, stats_executor):
+    gen = WorkloadGenerator(stats_db, seed=99)
+    queries = gen.workload(40, 1, 3, require_predicate=True)
+    cards = np.array([stats_executor.cardinality(q) for q in queries])
+    return queries, cards
+
+
+def median_q_error(estimator, queries, cards):
+    errs = [q_error(estimator.estimate(q), c) for q, c in zip(queries, cards)]
+    return float(np.median(errs))
+
+
+SUPERVISED = [
+    (LinearQueryEstimator, {}),
+    (GBDTQueryEstimator, {"n_estimators": 25}),
+    (MLPQueryEstimator, {"epochs": 30}),
+    (MSCNEstimator, {"epochs": 25}),
+    (RobustMSCNEstimator, {"epochs": 25}),
+    (ALECEEstimator, {"epochs": 40}),
+]
+
+UNSUPERVISED = [
+    (HistogramEstimator, {}),
+    (SamplingEstimator, {"sample_rows": 200}),
+    (KDEEstimator, {"sample": 300}),
+    (JoinKDEEstimator, {"sample": 300}),
+    (NaruEstimator, {"epochs": 4}),
+    (BayesNetEstimator, {}),
+    (SPNEstimator, {}),
+    (FSPNEstimator, {}),
+    (FactorJoinEstimator, {"sample_rows": 600}),
+]
+
+
+class TestSupervisedEstimators:
+    @pytest.mark.parametrize("cls,kwargs", SUPERVISED, ids=[c.__name__ for c, _ in SUPERVISED])
+    def test_fit_and_reasonable_accuracy(
+        self, cls, kwargs, stats_db, stats_train_data, test_workload
+    ):
+        est = cls(stats_db, **kwargs)
+        est.fit(*stats_train_data)
+        queries, cards = test_workload
+        assert median_q_error(est, queries, cards) < 20.0
+
+    @pytest.mark.parametrize("cls,kwargs", SUPERVISED[:3], ids=[c.__name__ for c, _ in SUPERVISED[:3]])
+    def test_estimate_before_fit_raises(self, cls, kwargs, stats_db):
+        est = cls(stats_db, **kwargs)
+        with pytest.raises(RuntimeError):
+            est.estimate(Query(("users",)))
+
+    def test_fit_rejects_empty(self, stats_db):
+        with pytest.raises(ValueError):
+            LinearQueryEstimator(stats_db).fit([], np.zeros(0))
+
+
+class TestUnsupervisedEstimators:
+    @pytest.mark.parametrize(
+        "cls,kwargs", UNSUPERVISED, ids=[c.__name__ for c, _ in UNSUPERVISED]
+    )
+    def test_reasonable_accuracy(self, cls, kwargs, stats_db, test_workload):
+        est = cls(stats_db, **kwargs)
+        queries, cards = test_workload
+        assert median_q_error(est, queries, cards) < 20.0
+
+    @pytest.mark.parametrize(
+        "cls,kwargs", UNSUPERVISED, ids=[c.__name__ for c, _ in UNSUPERVISED]
+    )
+    def test_estimates_within_bounds(self, cls, kwargs, stats_db, test_workload):
+        est = cls(stats_db, **kwargs)
+        queries, _ = test_workload
+        for q in queries[:10]:
+            val = est.estimate(q)
+            upper = 1.0
+            for t in q.tables:
+                upper *= stats_db.table(t).n_rows
+            assert 0.0 <= val <= upper
+
+
+class TestQuickSel:
+    def test_needs_single_table_queries(self, stats_db, stats_train_data):
+        queries, cards = stats_train_data
+        multi_only = [(q, c) for q, c in zip(queries, cards) if q.n_tables > 1]
+        qs = QuickSelEstimator(stats_db)
+        with pytest.raises(ValueError):
+            qs.fit([q for q, _ in multi_only], np.array([c for _, c in multi_only]))
+
+    def test_single_table_accuracy(self, stats_db, stats_executor):
+        gen = WorkloadGenerator(stats_db, seed=41)
+        train = gen.single_table_workload("users", 120)
+        cards = np.array([stats_executor.cardinality(q) for q in train])
+        qs = QuickSelEstimator(stats_db).fit(train, cards)
+        test = WorkloadGenerator(stats_db, seed=43).single_table_workload("users", 30)
+        test_cards = np.array([stats_executor.cardinality(q) for q in test])
+        assert median_q_error(qs, test, test_cards) < 15.0
+
+
+class TestLPCE:
+    def test_feedback_cache_exact(self, stats_db, stats_train_data, test_workload):
+        est = LPCEEstimator(stats_db)
+        est.fit(*stats_train_data)
+        q = test_workload[0][0]
+        est.observe(q, 777.0)
+        assert est.estimate(q) == 777.0
+
+    def test_refinement_improves_bias(self, stats_db, stats_executor, stats_train_data):
+        est = LPCEEstimator(stats_db, refit_every=30)
+        est.fit(*stats_train_data)
+        feedback = WorkloadGenerator(stats_db, seed=44).workload(
+            60, 1, 3, require_predicate=True
+        )
+        for q in feedback:
+            est.observe(q, stats_executor.cardinality(q))
+        assert est._correction is not None
+
+
+class TestRobustMSCN:
+    def test_masked_inference_path(self, stats_db, stats_train_data):
+        est = RobustMSCNEstimator(stats_db, epochs=15)
+        est.fit(*stats_train_data)
+        gen = WorkloadGenerator(stats_db, seed=45)
+        q = gen.random_query(1, 2, require_predicate=True)
+        masked = est.estimate_masked(q)
+        assert masked >= 0.0
+
+    def test_masked_before_fit_raises(self, stats_db):
+        est = RobustMSCNEstimator(stats_db)
+        with pytest.raises(RuntimeError):
+            est.estimate_masked(Query(("users",)))
+
+
+class TestNeuroCard:
+    def test_template_caching(self, stats_db):
+        est = NeuroCardEstimator(stats_db, epochs=2, n_samples=200)
+        gen = WorkloadGenerator(stats_db, seed=46)
+        qs = gen.join_template_workload(["posts", "users"], 3)
+        for q in qs:
+            est.estimate(q)
+        assert len(est._templates) == 1  # one join template
+
+    def test_refresh_clears_templates(self, stats_db):
+        est = NeuroCardEstimator(stats_db, epochs=2, n_samples=200)
+        gen = WorkloadGenerator(stats_db, seed=47)
+        est.estimate(gen.random_query(2, 2, require_predicate=True))
+        est.refresh()
+        assert len(est._templates) == 0
+
+    def test_full_join_sampler_uniformity(self, stats_db, stats_executor):
+        from repro.cardest.neurocard import FullJoinSampler
+
+        gen = WorkloadGenerator(stats_db, seed=48)
+        q = gen.join_template_workload(["posts", "users"], 1)[0]
+        template = Query(q.tables, q.joins, ())
+        sampler = FullJoinSampler(stats_db, template)
+        assert sampler.join_size == stats_executor.cardinality(template)
+        rows = sampler.sample(50, np.random.default_rng(0))
+        # Every sampled row must satisfy the join condition.
+        join = template.joins[0]
+        lv = stats_db.table(join.left.table).values(join.left.column)[
+            rows[join.left.table]
+        ]
+        rv = stats_db.table(join.right.table).values(join.right.column)[
+            rows[join.right.table]
+        ]
+        assert np.array_equal(lv, rv)
+
+
+class TestSPNFamily:
+    def test_fspn_at_least_as_good_on_correlated_pairs(self, stats_db, stats_executor):
+        # users.upvotes is strongly dependent on users.reputation; FSPN's
+        # joint leaves should model the pair at least as well as the SPN.
+        from repro.sql import ColumnRef, Op, Predicate
+
+        spn = SPNEstimator(stats_db)
+        fspn = FSPNEstimator(stats_db)
+        gen = WorkloadGenerator(stats_db, seed=49)
+        queries = gen.single_table_workload("users", 40, max_predicates=3)
+        spn_err, fspn_err = [], []
+        for q in queries:
+            true = stats_executor.cardinality(q)
+            spn_err.append(q_error(spn.estimate(q), true))
+            fspn_err.append(q_error(fspn.estimate(q), true))
+        assert np.median(fspn_err) <= np.median(spn_err) * 1.5
+
+    def test_structure_size_reported(self, stats_db):
+        spn = SPNEstimator(stats_db)
+        assert spn.structure_size("users") >= 1
+
+    def test_refresh_rebuilds(self, stats_db):
+        spn = SPNEstimator(stats_db)
+        before = spn._models["users"]
+        spn.refresh()
+        assert spn._models["users"] is not before
+
+
+class TestHybrid:
+    def test_uae_correction_learns(self, stats_db, stats_executor, stats_train_data):
+        est = UAEEstimator(stats_db, epochs=3)
+        queries, cards = stats_train_data
+        est.fit_queries(queries[:60], cards[:60])
+        assert est._correction is not None
+
+    def test_glue_wraps_any_single_table_estimator(self, stats_db, test_workload):
+        inner = BayesNetEstimator(stats_db)
+        glue = GLUEEstimator(stats_db, inner)
+        queries, cards = test_workload
+        assert median_q_error(glue, queries, cards) < 20.0
+
+    def test_glue_rejects_bad_inner(self, stats_db):
+        with pytest.raises(TypeError):
+            GLUEEstimator(stats_db, object())
+
+    def test_alece_refresh_changes_tokens(self, stats_db):
+        est = ALECEEstimator(stats_db, epochs=2)
+        before = est.tokens.copy()
+        est.refresh()
+        assert np.array_equal(before, est.tokens)  # same data -> same tokens
+
+
+class TestEnsemble:
+    def test_interval_contains_point(self, stats_db, stats_train_data, test_workload):
+        queries, cards = stats_train_data
+        members = [
+            MLPQueryEstimator(stats_db, epochs=15, seed=s).fit(queries, cards)
+            for s in range(3)
+        ]
+        ens = EnsembleEstimator(stats_db, members)
+        q = test_workload[0][0]
+        lo, hi = ens.predict_interval(q)
+        assert lo <= ens.estimate(q) <= hi
+        assert ens.uncertainty(q) >= 0.0
+
+    def test_rejects_empty(self, stats_db):
+        with pytest.raises(ValueError):
+            EnsembleEstimator(stats_db, [])

@@ -1,0 +1,152 @@
+"""Tests for the registry (Table 1), advisor extensions and bench support."""
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    apply_drift,
+    build_estimator,
+    data_driven_estimators,
+    hybrid_estimators,
+    make_workloads,
+    query_driven_estimators,
+    render_table,
+)
+from repro.bench.suite import fit_estimator, traditional_estimators
+from repro.cardest.advisor import AutoCE, DatasetFeatures, flow_loss_weights
+from repro.core import registry
+from repro.core.registry import cardinality_estimator_rows
+from repro.sql import WorkloadGenerator
+from repro.storage import make_stats_lite, make_tpch_lite
+
+
+class TestRegistry:
+    def test_all_entries_resolve(self):
+        for m in registry():
+            cls = m.resolve()
+            assert isinstance(cls, type)
+
+    def test_component_filter(self):
+        cards = registry("cardinality")
+        assert all(m.component == "cardinality" for m in cards)
+        with pytest.raises(ValueError):
+            registry("teleportation")
+
+    def test_table1_rows_cover_paper_categories(self):
+        rows = cardinality_estimator_rows()
+        categories = {c for c, _, _ in rows}
+        # The paper's Table 1 category structure.
+        assert any("Query-Driven" in c for c in categories)
+        assert any("Data-Driven" in c for c in categories)
+        assert any("Hybrid" in c for c in categories)
+        assert any("Auto-Regression" in c for c in categories)
+        assert any("Probabilistic" in c for c in categories)
+
+    def test_key_methods_present(self):
+        methods = {m.method for m in registry()}
+        for expected in ("MSCN", "Naru", "DeepDB", "FLAT", "FactorJoin",
+                         "Bao", "Lero", "Neo", "Balsa", "LEON", "Eraser"):
+            assert expected in methods
+
+
+class TestAdvisor:
+    def test_dataset_features_shape(self, stats_db):
+        feats = DatasetFeatures.of(stats_db)
+        assert feats.vector().shape == (6,)
+        assert feats.n_tables == 5.0
+
+    def test_recommend_nearest_profile(self):
+        advisor = AutoCE()
+        stats = make_stats_lite(0.2, seed=1)
+        tpch = make_tpch_lite(0.2, seed=1)
+        advisor.record(stats, "fspn")
+        advisor.record(tpch, "histogram")
+        # A slightly different stats-like db should match the stats profile.
+        other = make_stats_lite(0.25, seed=9)
+        assert advisor.recommend(other) == "fspn"
+
+    def test_recommend_requires_profiles(self, stats_db):
+        with pytest.raises(RuntimeError):
+            AutoCE().recommend(stats_db)
+
+    def test_flow_loss_weights_normalized(self, stats_db, stats_optimizer):
+        gen = WorkloadGenerator(stats_db, seed=110)
+        queries = gen.workload(15, 2, 4, require_predicate=True)
+        w = flow_loss_weights(queries, stats_optimizer)
+        assert w.shape == (15,)
+        assert w.sum() == pytest.approx(1.0)
+        assert np.all(w >= 0)
+
+
+class TestRenderTable:
+    def test_contains_all_cells(self):
+        out = render_table("T", ["a", "b"], [[1, 2.5], ["x", 10000.0]])
+        assert "T" in out
+        assert "2.50" in out
+        assert "10,000" in out
+        assert "x" in out
+
+    def test_note_rendered(self):
+        out = render_table("T", ["a"], [[1]], note="hello")
+        assert "note: hello" in out
+
+    def test_empty_rows(self):
+        out = render_table("T", ["a"], [])
+        assert "a" in out
+
+
+class TestWorkloadRecipes:
+    def test_make_workloads_split(self, stats_db):
+        spec = make_workloads(stats_db, n_train=20, n_test=10)
+        assert len(spec.train) == 20
+        assert len(spec.test) == 10
+        assert spec.train != spec.test
+
+    def test_single_table_recipe(self, stats_db):
+        spec = make_workloads(stats_db, n_train=5, n_test=5, single_table="posts")
+        assert all(q.tables == ("posts",) for q in spec.train + spec.test)
+
+    def test_apply_drift_grows_tables_and_shifts(self):
+        db = make_stats_lite(0.2, seed=2)
+        before_rows = db.table("posts").n_rows
+        before_mean = float(db.table("posts").values("score").mean())
+        changed = apply_drift(db, fraction=0.5, seed=0)
+        assert "posts" in changed
+        assert db.table("posts").n_rows > before_rows
+        after_mean = float(db.table("posts").values("score").mean())
+        assert after_mean > before_mean  # top-quantile inserts shift up
+
+    def test_apply_drift_keeps_fk_integrity(self):
+        db = make_stats_lite(0.2, seed=3)
+        apply_drift(db, fraction=0.3, seed=1)
+        for e in db.joins:
+            if db.table(e.right_table).column(e.right_column).is_key:
+                fk = db.table(e.left_table).values(e.left_column)
+                pk = db.table(e.right_table).values(e.right_column)
+                assert set(np.unique(fk)) <= set(np.unique(pk))
+
+    def test_apply_drift_validates_fraction(self, stats_db):
+        with pytest.raises(ValueError):
+            apply_drift(make_stats_lite(0.1), fraction=0.0)
+
+
+class TestSuiteBuilders:
+    def test_name_lists_disjoint(self):
+        all_names = (
+            traditional_estimators()
+            + query_driven_estimators()
+            + data_driven_estimators()
+            + hybrid_estimators()
+        )
+        assert len(all_names) == len(set(all_names))
+
+    def test_build_unknown_estimator(self, stats_db):
+        with pytest.raises(ValueError):
+            build_estimator("oracle", stats_db)
+
+    @pytest.mark.parametrize("name", ["histogram", "gbdt", "spn"])
+    def test_build_and_fit(self, name, stats_db, stats_train_data):
+        est = build_estimator(name, stats_db, budget="fast")
+        fit_estimator(est, *stats_train_data)
+        q = stats_train_data[0][0]
+        assert est.estimate(q) >= 0

@@ -1,0 +1,181 @@
+"""Tests for plan featurization and the learned cost models."""
+
+import numpy as np
+import pytest
+from scipy.stats import spearmanr
+
+from repro.costmodel import (
+    ConcurrentCostModel,
+    ConcurrentWorkload,
+    LinearPlanCostModel,
+    PlanFeaturizer,
+    TreeConvCostModel,
+    TreeRecurrentCostModel,
+    ZeroShotCostModel,
+    plan_to_tree_arrays,
+)
+from repro.ml.treeconv import PlanTreeBatch
+from repro.sql import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def featurizer(imdb_db, imdb_optimizer):
+    return PlanFeaturizer(imdb_db, imdb_optimizer.estimator)
+
+
+@pytest.fixture(scope="module")
+def split_corpus(imdb_plan_corpus):
+    plans, lats = imdb_plan_corpus
+    n = int(len(plans) * 0.75)
+    return plans[:n], lats[:n], plans[n:], lats[n:]
+
+
+class TestPlanFeaturizer:
+    def test_node_features_shape(self, featurizer, imdb_plan_corpus):
+        plans, _ = imdb_plan_corpus
+        plan = plans[0]
+        for node in plan.walk():
+            vec = featurizer.node_features(plan, node)
+            assert vec.shape == (featurizer.node_dim,)
+
+    def test_tree_arrays_batchable(self, featurizer, imdb_plan_corpus):
+        plans, _ = imdb_plan_corpus
+        trees = [plan_to_tree_arrays(p, featurizer) for p in plans[:5]]
+        batch = PlanTreeBatch.from_trees(trees)
+        assert batch.n_trees == 5
+
+    def test_tree_arrays_preorder_root_first(self, featurizer, imdb_plan_corpus):
+        plans, _ = imdb_plan_corpus
+        plan = next(p for p in plans if len(p.join_nodes()) >= 1)
+        feats, left, right = plan_to_tree_arrays(plan, featurizer)
+        assert feats.shape[0] == plan.root.n_nodes
+        assert left[0] >= 0 and right[0] >= 0  # root is a join
+
+    def test_flat_features(self, featurizer, imdb_plan_corpus):
+        plans, _ = imdb_plan_corpus
+        vec = featurizer.flat(plans[0])
+        assert vec.shape == (featurizer.flat_dim,)
+        assert featurizer.flat_batch(plans[:4]).shape == (4, featurizer.flat_dim)
+
+    def test_transferable_has_no_table_identity(self, featurizer, imdb_plan_corpus):
+        plans, _ = imdb_plan_corpus
+        plan = plans[0]
+        for node in plan.walk():
+            vec = featurizer.transferable_node(plan, node)
+            assert vec.shape == (featurizer.transferable_dim,)
+        # Dim must not depend on the number of tables.
+        assert featurizer.transferable_dim < featurizer.node_dim
+
+
+class TestPointwiseCostModels:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda f: LinearPlanCostModel(f),
+            lambda f: TreeConvCostModel(f, epochs=25),
+            lambda f: TreeRecurrentCostModel(f, epochs=15),
+        ],
+        ids=["linear", "treeconv", "recurrent"],
+    )
+    def test_rank_correlation_on_holdout(self, factory, featurizer, split_corpus):
+        train_p, train_l, test_p, test_l = split_corpus
+        model = factory(featurizer).fit(train_p, train_l)
+        preds = np.array([model.predict_latency(p) for p in test_p])
+        rho = spearmanr(preds, test_l).statistic
+        assert rho > 0.5
+
+    def test_predict_before_fit_raises(self, featurizer):
+        with pytest.raises(RuntimeError):
+            TreeConvCostModel(featurizer).predict_latency(None)
+
+    def test_fit_rejects_empty(self, featurizer):
+        with pytest.raises(ValueError):
+            LinearPlanCostModel(featurizer).fit([], np.zeros(0))
+
+    def test_predictions_nonnegative(self, featurizer, split_corpus):
+        train_p, train_l, test_p, _ = split_corpus
+        model = TreeConvCostModel(featurizer, epochs=10).fit(train_p, train_l)
+        assert all(model.predict_latency(p) >= 0 for p in test_p)
+
+    def test_recurrent_embedding(self, featurizer, split_corpus):
+        train_p, train_l, _, _ = split_corpus
+        model = TreeRecurrentCostModel(featurizer, epochs=5).fit(
+            train_p[:20], train_l[:20]
+        )
+        emb = model.embed(train_p[0])
+        assert emb.shape == (model.hidden,)
+
+
+class TestZeroShot:
+    def test_transfers_to_unseen_database(
+        self, imdb_db, imdb_optimizer, imdb_plan_corpus, stats_db, stats_optimizer, stats_simulator
+    ):
+        plans, lats = imdb_plan_corpus
+        src_feat = PlanFeaturizer(imdb_db, imdb_optimizer.estimator)
+        model = ZeroShotCostModel(epochs=30, seed=0)
+        model.fit([(src_feat, list(plans), lats)])
+        # Target: a database the model has never seen.
+        tgt_feat = PlanFeaturizer(stats_db, stats_optimizer.estimator)
+        gen = WorkloadGenerator(stats_db, seed=60)
+        tgt_plans = [
+            stats_optimizer.plan(q)
+            for q in gen.workload(25, 2, 4, require_predicate=True)
+        ]
+        tgt_lats = np.array(
+            [stats_simulator.execute(p).latency_ms for p in tgt_plans]
+        )
+        preds = np.array([model.predict_latency(p, tgt_feat) for p in tgt_plans])
+        rho = spearmanr(preds, tgt_lats).statistic
+        assert rho > 0.3  # zero-shot: weaker but meaningful transfer
+
+    def test_requires_training_sets(self):
+        with pytest.raises(ValueError):
+            ZeroShotCostModel().fit([])
+
+
+class TestConcurrent:
+    def test_interference_increases_latency(self, imdb_simulator, imdb_plan_corpus):
+        plans, _ = imdb_plan_corpus
+        cw = ConcurrentWorkload(imdb_simulator, alpha=0.6)
+        mix = plans[:4]
+        solo = np.array([imdb_simulator.execute(p).latency_ms for p in mix])
+        together = cw.run(mix)
+        assert np.all(together >= solo - 1e-9)
+        assert together.sum() > solo.sum()
+
+    def test_disjoint_tables_do_not_interfere(self, imdb_simulator, imdb_optimizer, imdb_db):
+        gen = WorkloadGenerator(imdb_db, seed=61)
+        # Two single-table queries on different tables share nothing.
+        qa = gen.single_table_workload("person", 1)[0]
+        qb = gen.single_table_workload("company", 1)[0]
+        pa, pb = imdb_optimizer.plan(qa), imdb_optimizer.plan(qb)
+        cw = ConcurrentWorkload(imdb_simulator, alpha=0.6)
+        together = cw.run([pa, pb])
+        solo = np.array([imdb_simulator.execute(pa).latency_ms, imdb_simulator.execute(pb).latency_ms])
+        assert np.allclose(together, solo)
+
+    def test_model_learns_interference(self, featurizer, imdb_simulator, imdb_plan_corpus):
+        plans, _ = imdb_plan_corpus
+        cw = ConcurrentWorkload(imdb_simulator)
+        rng = np.random.default_rng(0)
+        mixes = []
+        for _ in range(40):
+            idx = rng.choice(len(plans), size=4, replace=False)
+            mixes.append([plans[i] for i in idx])
+        lats = [cw.run(m) for m in mixes]
+        model = ConcurrentCostModel(featurizer, epochs=40, seed=0)
+        model.fit(mixes[:30], lats[:30])
+        preds, truths = [], []
+        for m, l in zip(mixes[30:], lats[30:]):
+            preds.extend(model.predict_mix(m))
+            truths.extend(l)
+        rho = spearmanr(preds, truths).statistic
+        assert rho > 0.5
+
+    def test_empty_mix(self, imdb_simulator):
+        cw = ConcurrentWorkload(imdb_simulator)
+        assert cw.run([]).shape == (0,)
+
+    def test_predict_before_fit(self, featurizer):
+        with pytest.raises(RuntimeError):
+            ConcurrentCostModel(featurizer).predict_mix([])

@@ -1,0 +1,155 @@
+"""Tests for disjunctive (mixed) predicates through the whole stack [42]."""
+
+import numpy as np
+import pytest
+
+from repro.cardest import FSPNEstimator, HistogramEstimator, MSCNEstimator, q_error
+from repro.cardest.binning import ColumnBinner
+from repro.engine import execute_cardinality
+from repro.optimizer import Optimizer, TraditionalCardinalityEstimator
+from repro.sql import (
+    ColumnRef,
+    Op,
+    OrPredicate,
+    Predicate,
+    Query,
+    WorkloadGenerator,
+    parse_query,
+)
+
+
+def or_pred(table, column, *parts):
+    ref = ColumnRef(table, column)
+    return OrPredicate(ref, tuple(Predicate(ref, op, v) for op, v in parts))
+
+
+class TestOrPredicate:
+    def test_requires_two_parts(self):
+        ref = ColumnRef("t", "c")
+        with pytest.raises(ValueError):
+            OrPredicate(ref, (Predicate(ref, Op.EQ, 1.0),))
+
+    def test_requires_same_column(self):
+        a = ColumnRef("t", "a")
+        b = ColumnRef("t", "b")
+        with pytest.raises(ValueError, match="references"):
+            OrPredicate(a, (Predicate(a, Op.EQ, 1.0), Predicate(b, Op.EQ, 2.0)))
+
+    def test_evaluate_is_union(self):
+        pred = or_pred("t", "c", (Op.LT, 2.0), (Op.GT, 8.0))
+        values = np.array([0.0, 2.0, 5.0, 9.0])
+        assert list(pred.evaluate(values)) == [True, False, False, True]
+
+    def test_hull_range(self):
+        pred = or_pred("t", "c", (Op.BETWEEN, (1.0, 3.0)), (Op.BETWEEN, (7.0, 9.0)))
+        assert pred.to_range() == (1.0, 9.0)
+
+    def test_canonical_part_order(self):
+        a = or_pred("t", "c", (Op.EQ, 1.0), (Op.EQ, 5.0))
+        b = or_pred("t", "c", (Op.EQ, 5.0), (Op.EQ, 1.0))
+        assert a == b and hash(a) == hash(b)
+
+
+class TestParserOr:
+    def test_parse_or_group(self):
+        q = parse_query(
+            "SELECT COUNT(*) FROM t WHERE (t.x < 2 OR t.x BETWEEN 5 AND 7)"
+        )
+        assert len(q.predicates) == 1
+        assert isinstance(q.predicates[0], OrPredicate)
+        assert len(q.predicates[0].parts) == 2
+
+    def test_roundtrip(self):
+        sql = "SELECT COUNT(*) FROM t WHERE (t.x < 2 OR t.x > 9) AND t.y = 1"
+        q = parse_query(sql)
+        assert parse_query(q.to_sql()) == q
+
+    def test_or_mixed_columns_rejected(self):
+        with pytest.raises(Exception, match="references"):
+            parse_query("SELECT COUNT(*) FROM t WHERE (t.x < 2 OR t.y > 9)")
+
+    def test_single_part_group_rejected(self):
+        from repro.sql import SQLSyntaxError
+
+        with pytest.raises(SQLSyntaxError):
+            parse_query("SELECT COUNT(*) FROM t WHERE (t.x < 2)")
+
+
+class TestOrExecution:
+    def test_exact_count_matches_union(self, stats_db, stats_executor):
+        vals = stats_db.table("users").values("reputation")
+        lo = float(np.percentile(vals, 20))
+        hi = float(np.percentile(vals, 80))
+        pred = or_pred("users", "reputation", (Op.LE, lo), (Op.GE, hi))
+        q = Query(("users",), (), (pred,))
+        expected = int(((vals <= lo) | (vals >= hi)).sum())
+        assert execute_cardinality(stats_db, q) == expected
+
+    def test_or_with_join(self, stats_db, stats_executor):
+        gen = WorkloadGenerator(stats_db, seed=180, or_rate=1.0)
+        q = gen.join_template_workload(["posts", "users"], 1)[0]
+        card = stats_executor.cardinality(q)
+        unfiltered = stats_executor.cardinality(Query(q.tables, q.joins, ()))
+        assert 0 <= card <= unfiltered
+
+
+class TestOrEstimation:
+    def test_traditional_selectivity_reasonable(self, stats_db, stats_executor):
+        est = TraditionalCardinalityEstimator(stats_db)
+        vals = stats_db.table("users").values("reputation")
+        lo = float(np.percentile(vals, 25))
+        hi = float(np.percentile(vals, 75))
+        pred = or_pred("users", "reputation", (Op.LE, lo), (Op.GE, hi))
+        q = Query(("users",), (), (pred,))
+        true = stats_executor.cardinality(q)
+        assert q_error(est.estimate(q), true) < 3.0
+
+    def test_or_selectivity_at_least_single_part(self, stats_db):
+        est = TraditionalCardinalityEstimator(stats_db)
+        ref = ColumnRef("users", "reputation")
+        part = Predicate(ref, Op.LE, 3.0)
+        disj = OrPredicate(ref, (part, Predicate(ref, Op.GE, 30.0)))
+        assert est.predicate_selectivity(disj) >= est.predicate_selectivity(part)
+
+    def test_binner_union(self):
+        binner = ColumnBinner(np.arange(10), max_bins=32)
+        ref = ColumnRef("t", "c")
+        pred = OrPredicate(
+            ref,
+            (Predicate(ref, Op.LE, 2.0), Predicate(ref, Op.GE, 8.0)),
+        )
+        bins, factor = binner.bins_for_predicate(pred)
+        assert list(bins) == [0, 1, 2, 8, 9]
+        assert factor == 1.0
+
+    def test_learned_estimators_handle_or_workload(self, stats_db, stats_executor):
+        gen = WorkloadGenerator(stats_db, seed=181, or_rate=0.5)
+        workload = gen.workload(60, 1, 3, require_predicate=True)
+        assert any(
+            isinstance(p, OrPredicate) for q in workload for p in q.predicates
+        )
+        cards = np.array([stats_executor.cardinality(q) for q in workload])
+        mscn = MSCNEstimator(stats_db, epochs=20).fit(workload, cards)
+        fspn = FSPNEstimator(stats_db)
+        hist = HistogramEstimator(stats_db)
+        for est in (mscn, fspn, hist):
+            errs = [
+                q_error(est.estimate(q), c) for q, c in zip(workload[:25], cards[:25])
+            ]
+            assert np.median(errs) < 25.0, type(est).__name__
+
+    def test_planner_plans_or_queries(self, stats_db, stats_simulator):
+        opt = Optimizer(stats_db)
+        gen = WorkloadGenerator(stats_db, seed=182, or_rate=0.7)
+        for q in gen.workload(10, 1, 4, require_predicate=True):
+            res = stats_simulator.execute(opt.plan(q))
+            assert res.latency_ms > 0
+
+    def test_generator_default_has_no_ors(self, stats_db):
+        gen = WorkloadGenerator(stats_db, seed=183)
+        for q in gen.workload(30, 1, 4, require_predicate=True):
+            assert not any(isinstance(p, OrPredicate) for p in q.predicates)
+
+    def test_generator_validates_or_rate(self, stats_db):
+        with pytest.raises(ValueError):
+            WorkloadGenerator(stats_db, seed=0, or_rate=1.5)

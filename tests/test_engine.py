@@ -1,0 +1,295 @@
+"""Tests for the exact executor, plan trees and the latency simulator.
+
+The executor is cross-checked against a brute-force nested-loop reference
+on randomly generated queries (property-based), including cyclic joins.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import (
+    CardinalityExecutor,
+    ExecutionSimulator,
+    JoinMethod,
+    JoinNode,
+    Plan,
+    ScanMethod,
+    ScanNode,
+    SimulatorConfig,
+    execute_cardinality,
+)
+from repro.engine.executor import IntermediateTooLarge
+from repro.engine.plans import scan_for
+from repro.sql import ColumnRef, Join, Op, Predicate, Query, WorkloadGenerator
+from repro.storage import Column, Database, JoinEdge, Table
+
+
+def brute_force_count(db, query):
+    """Reference nested-loop COUNT(*) over the real data."""
+    tables = list(query.tables)
+    rows_per_table = []
+    for t in tables:
+        tbl = db.table(t)
+        mask = np.ones(tbl.n_rows, dtype=bool)
+        for p in query.predicates_on(t):
+            mask &= p.evaluate(tbl.values(p.column.column))
+        rows_per_table.append(np.flatnonzero(mask))
+
+    count = 0
+
+    def recurse(i, assignment):
+        nonlocal count
+        if i == len(tables):
+            count += 1
+            return
+        t = tables[i]
+        for row in rows_per_table[i]:
+            ok = True
+            for j in query.joins:
+                lt, rt = j.left.table, j.right.table
+                if t in (lt, rt):
+                    other = rt if t == lt else lt
+                    if other in assignment:
+                        my_col = j.left.column if t == lt else j.right.column
+                        other_col = j.right.column if t == lt else j.left.column
+                        mine = db.table(t).values(my_col)[row]
+                        theirs = db.table(other).values(other_col)[assignment[other]]
+                        if mine != theirs:
+                            ok = False
+                            break
+            if ok:
+                assignment[t] = row
+                recurse(i + 1, assignment)
+                del assignment[t]
+
+    recurse(0, {})
+    return count
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    """A tiny 3-table database small enough for brute force."""
+    rng = np.random.default_rng(0)
+    users = Table(
+        "users",
+        [
+            Column("id", np.arange(12), is_key=True),
+            Column("age", rng.integers(0, 5, 12)),
+        ],
+    )
+    posts = Table(
+        "posts",
+        [
+            Column("id", np.arange(20), is_key=True),
+            Column("uid", rng.integers(0, 12, 20)),
+            Column("score", rng.integers(0, 4, 20)),
+        ],
+    )
+    comments = Table(
+        "comments",
+        [
+            Column("pid", rng.integers(0, 20, 30)),
+            Column("cuid", rng.integers(0, 12, 30)),
+            Column("len", rng.integers(0, 6, 30)),
+        ],
+    )
+    return Database(
+        "tiny",
+        [users, posts, comments],
+        [
+            JoinEdge("posts", "uid", "users", "id"),
+            JoinEdge("comments", "pid", "posts", "id"),
+            JoinEdge("comments", "cuid", "users", "id"),
+        ],
+    )
+
+
+class TestExecutorCorrectness:
+    def test_single_table(self, tiny_db):
+        q = Query(("users",), (), (Predicate(ColumnRef("users", "age"), Op.LE, 2.0),))
+        assert execute_cardinality(tiny_db, q) == brute_force_count(tiny_db, q)
+
+    def test_two_table_join(self, tiny_db):
+        q = Query(
+            ("posts", "users"),
+            (Join(ColumnRef("posts", "uid"), ColumnRef("users", "id")),),
+            (Predicate(ColumnRef("users", "age"), Op.EQ, 1.0),),
+        )
+        assert execute_cardinality(tiny_db, q) == brute_force_count(tiny_db, q)
+
+    def test_three_table_chain(self, tiny_db):
+        q = Query(
+            ("comments", "posts", "users"),
+            (
+                Join(ColumnRef("posts", "uid"), ColumnRef("users", "id")),
+                Join(ColumnRef("comments", "pid"), ColumnRef("posts", "id")),
+            ),
+            (Predicate(ColumnRef("comments", "len"), Op.GE, 3.0),),
+        )
+        assert execute_cardinality(tiny_db, q) == brute_force_count(tiny_db, q)
+
+    def test_cyclic_triangle(self, tiny_db):
+        q = Query(
+            ("comments", "posts", "users"),
+            (
+                Join(ColumnRef("posts", "uid"), ColumnRef("users", "id")),
+                Join(ColumnRef("comments", "pid"), ColumnRef("posts", "id")),
+                Join(ColumnRef("comments", "cuid"), ColumnRef("users", "id")),
+            ),
+        )
+        assert execute_cardinality(tiny_db, q) == brute_force_count(tiny_db, q)
+
+    def test_empty_result(self, tiny_db):
+        q = Query(("users",), (), (Predicate(ColumnRef("users", "age"), Op.GT, 99.0),))
+        assert execute_cardinality(tiny_db, q) == 0
+
+    def test_disconnected_rejected(self, tiny_db):
+        q = Query(("posts", "users"))
+        with pytest.raises(ValueError, match="disconnected"):
+            execute_cardinality(tiny_db, q)
+
+    def test_memoization(self, tiny_db):
+        ex = CardinalityExecutor(tiny_db)
+        q = Query(("users",), (), (Predicate(ColumnRef("users", "age"), Op.LE, 2.0),))
+        first = ex.cardinality(q)
+        assert ex.cardinality(q) == first
+        assert q in ex._cache
+        ex.clear_cache()
+        assert q not in ex._cache
+
+    def test_intermediate_guard(self, tiny_db):
+        ex = CardinalityExecutor(tiny_db, max_intermediate_rows=1)
+        q = Query(
+            ("comments", "posts", "users"),
+            (
+                Join(ColumnRef("posts", "uid"), ColumnRef("users", "id")),
+                Join(ColumnRef("comments", "pid"), ColumnRef("posts", "id")),
+                Join(ColumnRef("comments", "cuid"), ColumnRef("users", "id")),
+            ),
+        )
+        with pytest.raises(IntermediateTooLarge):
+            ex.cardinality(q)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_random_queries_match_brute_force(self, tiny_db, seed):
+        gen = WorkloadGenerator(tiny_db, seed=seed)
+        q = gen.random_query(1, 3, max_preds_per_table=2)
+        assert execute_cardinality(tiny_db, q) == brute_force_count(tiny_db, q)
+
+
+class TestPlans:
+    def _two_table_plan(self, method=JoinMethod.HASH):
+        q = Query(
+            ("posts", "users"),
+            (Join(ColumnRef("posts", "uid"), ColumnRef("users", "id")),),
+            (Predicate(ColumnRef("users", "age"), Op.LE, 2.0),),
+        )
+        join = Join(ColumnRef("posts", "uid"), ColumnRef("users", "id"))
+        node = JoinNode(scan_for(q, "posts"), scan_for(q, "users"), method, (join,))
+        return Plan(q, node)
+
+    def test_plan_must_cover_query(self):
+        q = Query(("posts", "users"), (Join(ColumnRef("posts", "uid"), ColumnRef("users", "id")),))
+        with pytest.raises(ValueError, match="covers"):
+            Plan(q, ScanNode(table="posts"))
+
+    def test_join_children_must_not_overlap(self):
+        a = ScanNode(table="t1")
+        b = ScanNode(table="t1")
+        with pytest.raises(ValueError, match="overlap"):
+            JoinNode(a, b, conditions=(Join(ColumnRef("t1", "x"), ColumnRef("t2", "y")),))
+
+    def test_join_requires_condition(self):
+        with pytest.raises(ValueError, match="condition"):
+            JoinNode(ScanNode(table="a"), ScanNode(table="b"), conditions=())
+
+    def test_condition_must_span_sides(self):
+        bad = Join(ColumnRef("a", "x"), ColumnRef("c", "y"))
+        with pytest.raises(ValueError, match="span"):
+            JoinNode(ScanNode(table="a"), ScanNode(table="b"), conditions=(bad,))
+
+    def test_walk_and_counts(self):
+        plan = self._two_table_plan()
+        nodes = list(plan.walk())
+        assert len(nodes) == 3
+        assert plan.root.n_nodes == 3
+        assert len(plan.scan_nodes()) == 2
+        assert len(plan.join_nodes()) == 1
+
+    def test_join_order(self):
+        plan = self._two_table_plan()
+        assert plan.join_order() == ["posts", "users"]
+
+    def test_signature_distinguishes_methods(self):
+        a = self._two_table_plan(JoinMethod.HASH)
+        b = self._two_table_plan(JoinMethod.MERGE)
+        assert a.signature() != b.signature()
+
+    def test_pretty_contains_operators(self):
+        text = self._two_table_plan().pretty()
+        assert "HashJoin" in text and "SeqScan" in text
+
+    def test_node_subquery(self, tiny_db):
+        plan = self._two_table_plan()
+        sub = plan.node_subquery(plan.root.left)
+        assert sub.tables == ("posts",)
+
+
+class TestSimulator:
+    def _plan(self, db, gen_seed=0):
+        gen = WorkloadGenerator(db, seed=gen_seed)
+        q = gen.random_query(2, 3, require_predicate=True)
+        from repro.optimizer import Optimizer
+
+        return Optimizer(db).plan(q)
+
+    def test_deterministic_without_noise(self, stats_db):
+        sim = ExecutionSimulator(stats_db)
+        plan = self._plan(stats_db)
+        assert sim.execute(plan).latency_ms == sim.execute(plan).latency_ms
+
+    def test_noise_reproducible_per_plan(self, stats_db):
+        cfg = SimulatorConfig(noise_sigma=0.2, noise_seed=1)
+        sim = ExecutionSimulator(stats_db, cfg)
+        plan = self._plan(stats_db)
+        assert sim.execute(plan).latency_ms == sim.execute(plan).latency_ms
+
+    def test_noise_changes_latency(self, stats_db):
+        plan = self._plan(stats_db)
+        base = ExecutionSimulator(stats_db).execute(plan).latency_ms
+        noisy = ExecutionSimulator(
+            stats_db, SimulatorConfig(noise_sigma=0.5, noise_seed=3)
+        ).execute(plan).latency_ms
+        assert noisy != base
+
+    def test_result_consistency(self, stats_db, stats_executor):
+        sim = ExecutionSimulator(stats_db)
+        plan = self._plan(stats_db, gen_seed=4)
+        res = sim.execute(plan)
+        assert res.cardinality == stats_executor.cardinality(plan.query)
+        assert res.latency_ms > 0
+        assert res.total_cost > 0
+        assert set(res.node_cards) == set(plan.walk())
+
+    def test_index_scan_cheaper_when_selective(self, stats_db):
+        # A highly selective predicate should make the index scan cheaper
+        # than the sequential scan under the simulator's true constants.
+        q = Query(
+            ("posts",),
+            (),
+            (Predicate(ColumnRef("posts", "view_count"), Op.EQ, 70.0),),
+        )
+        sim = ExecutionSimulator(stats_db)
+        seq = Plan(q, ScanNode("posts", ScanMethod.SEQ, q.predicates))
+        idx = Plan(q, ScanNode("posts", ScanMethod.INDEX, q.predicates))
+        assert sim.execute(idx).latency_ms < sim.execute(seq).latency_ms
+
+    def test_stats_counters(self, stats_db):
+        sim = ExecutionSimulator(stats_db)
+        plan = self._plan(stats_db, gen_seed=5)
+        sim.execute(plan)
+        assert sim.queries_executed == 1
+        assert sim.total_latency_ms > 0

@@ -1,0 +1,83 @@
+"""Tests for GL+ segmentation [52] and workload save/load."""
+
+import numpy as np
+import pytest
+
+from repro.bench import load_workload, save_workload
+from repro.cardest import GLPlusEstimator, q_error
+from repro.sql import Query, WorkloadGenerator
+
+
+class TestGLPlus:
+    def test_builds_local_models_with_enough_data(self, stats_db, stats_train_data):
+        est = GLPlusEstimator(stats_db, n_segments=3, min_segment_size=20, epochs=25)
+        est.fit(*stats_train_data)
+        assert est.n_local_models >= 1
+
+    def test_small_workload_falls_back_to_global(self, stats_db, stats_train_data):
+        queries, cards = stats_train_data
+        est = GLPlusEstimator(
+            stats_db, n_segments=4, min_segment_size=10**6, epochs=10
+        )
+        est.fit(queries[:40], cards[:40])
+        assert est.n_local_models == 0
+        assert est.estimate(queries[0]) >= 0.0
+
+    def test_accuracy_reasonable(self, stats_db, stats_train_data, stats_executor):
+        est = GLPlusEstimator(stats_db, epochs=40)
+        est.fit(*stats_train_data)
+        test = WorkloadGenerator(stats_db, seed=190).workload(
+            30, 1, 3, require_predicate=True
+        )
+        errs = [
+            q_error(est.estimate(q), stats_executor.cardinality(q)) for q in test
+        ]
+        assert np.median(errs) < 20.0
+
+    def test_estimate_before_fit(self, stats_db):
+        with pytest.raises(RuntimeError):
+            GLPlusEstimator(stats_db).estimate(Query(("users",)))
+
+    def test_fit_rejects_empty(self, stats_db):
+        with pytest.raises(ValueError):
+            GLPlusEstimator(stats_db).fit([], np.zeros(0))
+
+    def test_in_registry(self):
+        from repro.core import registry
+
+        rows = [m for m in registry("cardinality") if m.method == "GL+"]
+        assert len(rows) == 1
+        assert rows[0].resolve() is GLPlusEstimator
+
+
+class TestWorkloadIO:
+    def test_roundtrip(self, tmp_path, stats_db):
+        gen = WorkloadGenerator(stats_db, seed=191, or_rate=0.3)
+        workload = gen.workload(25, 1, 4, require_predicate=True)
+        path = tmp_path / "workload.sql"
+        save_workload(path, workload, header="test workload\nseed=191")
+        loaded = load_workload(path)
+        assert loaded == workload
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "w.sql"
+        path.write_text(
+            "-- a comment\n\nSELECT COUNT(*) FROM t WHERE t.x > 1\n\n",
+            encoding="utf-8",
+        )
+        loaded = load_workload(path)
+        assert len(loaded) == 1
+
+    def test_broken_line_reports_lineno(self, tmp_path):
+        path = tmp_path / "w.sql"
+        path.write_text(
+            "SELECT COUNT(*) FROM t\nSELECT nonsense\n", encoding="utf-8"
+        )
+        with pytest.raises(ValueError, match=":2:"):
+            load_workload(path)
+
+    def test_header_in_file(self, tmp_path, stats_db):
+        gen = WorkloadGenerator(stats_db, seed=192)
+        path = tmp_path / "w.sql"
+        save_workload(path, gen.workload(3), header="frozen")
+        assert path.read_text().startswith("-- frozen")

@@ -1,0 +1,238 @@
+"""Property-based tests on cross-cutting invariants (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import CardinalityExecutor, ExecutionSimulator, execute_cardinality
+from repro.ml.setconv import SetConvNet
+from repro.ml.treeconv import PlanTreeBatch, TreeConvNet
+from repro.optimizer import Optimizer
+from repro.sql import ColumnRef, Op, Predicate, Query, WorkloadGenerator, parse_query
+from repro.storage import make_imdb_lite, make_stats_lite, make_tpch_lite
+
+
+# ---------------------------------------------------------------------------
+# Parser <-> printer round trip on arbitrary generated queries
+# ---------------------------------------------------------------------------
+
+
+class TestParserRoundTrip:
+    @given(st.integers(0, 10_000), st.sampled_from(["stats", "imdb", "tpch"]))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_generated_queries(self, stats_db, imdb_db, tpch_db, seed, which):
+        db = {"stats": stats_db, "imdb": imdb_db, "tpch": tpch_db}[which]
+        gen = WorkloadGenerator(db, seed=seed)
+        q = gen.random_query(1, 4, max_preds_per_table=3)
+        assert parse_query(q.to_sql()) == q
+
+    @given(st.integers(0, 3000))
+    @settings(max_examples=25, deadline=None)
+    def test_double_roundtrip_stable(self, stats_db, seed):
+        gen = WorkloadGenerator(stats_db, seed=seed)
+        q = gen.random_query(1, 3)
+        once = parse_query(q.to_sql())
+        twice = parse_query(once.to_sql())
+        assert once == twice
+
+
+# ---------------------------------------------------------------------------
+# Executor invariants
+# ---------------------------------------------------------------------------
+
+
+class TestExecutorInvariants:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=25, deadline=None)
+    def test_adding_predicate_never_increases_cardinality(self, stats_db,
+                                                          stats_executor, seed):
+        gen = WorkloadGenerator(stats_db, seed=seed)
+        q = gen.random_query(1, 3, max_preds_per_table=1)
+        base = stats_executor.cardinality(q)
+        # Conjoin one more predicate on some table.
+        target = q.tables[0]
+        values = None
+        for c in stats_db.table(target).column_names:
+            col = stats_db.table(target).column(c)
+            if not col.is_key:
+                values = (c, col.values)
+                break
+        if values is None:
+            return
+        cname, vals = values
+        pred = Predicate(ColumnRef(target, cname), Op.LE, float(np.median(vals)))
+        stricter = Query(q.tables, q.joins, q.predicates + (pred,))
+        assert stats_executor.cardinality(stricter) <= base
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=20, deadline=None)
+    def test_join_bounded_by_filtered_product(self, stats_db, stats_executor, seed):
+        gen = WorkloadGenerator(stats_db, seed=seed)
+        q = gen.random_query(2, 3, max_preds_per_table=1)
+        card = stats_executor.cardinality(q)
+        product = 1
+        for t in q.tables:
+            product *= stats_executor.cardinality(q.subquery([t]))
+        assert card <= product
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_cardinality_deterministic(self, imdb_db, seed):
+        gen = WorkloadGenerator(imdb_db, seed=seed)
+        q = gen.random_query(1, 4)
+        a = execute_cardinality(imdb_db, q)
+        b = execute_cardinality(imdb_db, q)
+        assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Planner / simulator invariants
+# ---------------------------------------------------------------------------
+
+
+class TestPlannerInvariants:
+    @given(st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_dp_cost_is_minimum_over_algorithms(self, stats_db, stats_optimizer, seed):
+        gen = WorkloadGenerator(stats_db, seed=seed)
+        q = gen.random_query(2, 4, require_predicate=True)
+        dp_cost = stats_optimizer.cost(stats_optimizer.plan(q, algorithm="dp"))
+        for alg in ("greedy", "left_deep"):
+            other = stats_optimizer.cost(stats_optimizer.plan(q, algorithm=alg))
+            assert dp_cost <= other + 1e-6
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=15, deadline=None)
+    def test_simulated_latency_positive_and_deterministic(
+        self, stats_db, stats_optimizer, stats_simulator, seed
+    ):
+        gen = WorkloadGenerator(stats_db, seed=seed)
+        q = gen.random_query(1, 4)
+        plan = stats_optimizer.plan(q)
+        a = stats_simulator.execute(plan).latency_ms
+        b = stats_simulator.execute(plan).latency_ms
+        assert a == b > 0
+
+    @given(st.integers(0, 5000))
+    @settings(max_examples=10, deadline=None)
+    def test_every_enumerated_plan_is_executable(self, imdb_db, imdb_optimizer,
+                                                 imdb_simulator, seed):
+        from repro.optimizer import HintSet
+
+        gen = WorkloadGenerator(imdb_db, seed=seed)
+        q = gen.random_query(2, 4, require_predicate=True)
+        for arm in HintSet.bao_arms():
+            plan = imdb_optimizer.plan(q, hints=arm)
+            result = imdb_simulator.execute(plan)
+            assert result.cardinality >= 0
+
+
+# ---------------------------------------------------------------------------
+# Neural-net gradient checks on the structured models
+# ---------------------------------------------------------------------------
+
+
+def _numeric_grad(f, param, eps=1e-5):
+    grad = np.zeros_like(param)
+    flat, g = param.reshape(-1), grad.reshape(-1)
+    for i in range(flat.size):
+        old = flat[i]
+        flat[i] = old + eps
+        hi = f()
+        flat[i] = old - eps
+        lo = f()
+        flat[i] = old
+        g[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestStructuredGradients:
+    def test_treeconv_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        trees = [
+            (rng.normal(size=(3, 4)), np.array([1, 2, -1]), np.array([-1, -1, -1])),
+            (rng.normal(size=(2, 4)), np.array([1, -1]), np.array([-1, -1])),
+        ]
+        target = np.array([[1.0], [2.0]])
+        net = TreeConvNet(4, (5,), (3,), seed=1)
+        batch = PlanTreeBatch.from_trees(trees)
+
+        def loss():
+            return float(((net.forward(batch) - target) ** 2).sum())
+
+        pred = net.forward(batch)
+        net._backward(batch, 2.0 * (pred - target))
+        analytic = net.gradients()
+        params = net.parameters()
+        for p, a in zip(params, analytic):
+            numeric = _numeric_grad(loss, p)
+            assert np.allclose(a, numeric, atol=1e-3), "treeconv gradient mismatch"
+
+    def test_setconv_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        samples = [
+            {"a": rng.normal(size=(2, 3))},
+            {"a": rng.normal(size=(3, 3))},
+        ]
+        target = np.array([[0.3], [0.7]])
+        net = SetConvNet({"a": 3}, hidden=4, seed=2)
+        batch = {"a": [s["a"] for s in samples]}
+
+        def loss():
+            return float(((net.forward(batch) - target) ** 2).sum())
+
+        pred = net.forward(batch)
+        net._backward(2.0 * (pred - target))
+        analytic = net.gradients()
+        for p, a in zip(net.parameters(), analytic):
+            numeric = _numeric_grad(loss, p)
+            assert np.allclose(a, numeric, atol=1e-3), "setconv gradient mismatch"
+
+    def test_made_gradient_matches_numerical(self):
+        from repro.ml.autoregressive import MaskedAutoregressiveNetwork
+
+        rng = np.random.default_rng(2)
+        rows = rng.integers(0, 3, size=(6, 2))
+        net = MaskedAutoregressiveNetwork([3, 3], hidden=(4,), seed=3)
+
+        def loss():
+            # NLL must be recomputed exactly as _loss_and_backward does.
+            logits = net.forward(net.encode(rows))
+            total = 0.0
+            n = rows.shape[0]
+            for i in range(2):
+                block = net.column_logits(logits, i)
+                shifted = block - block.max(axis=1, keepdims=True)
+                lsm = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+                total -= lsm[np.arange(n), rows[:, i]].sum()
+            return total / n
+
+        net._loss_and_backward(rows)
+        for w, gw in zip(net.weights, net._grads_w):
+            numeric = _numeric_grad(loss, w)
+            assert np.allclose(gw, numeric, atol=1e-4), "made weight gradient mismatch"
+        for b, gb in zip(net.biases, net._grads_b):
+            numeric = _numeric_grad(loss, b)
+            assert np.allclose(gb, numeric, atol=1e-4), "made bias gradient mismatch"
+
+
+# ---------------------------------------------------------------------------
+# Determinism across whole databases
+# ---------------------------------------------------------------------------
+
+
+class TestGlobalDeterminism:
+    @pytest.mark.parametrize("maker", [make_stats_lite, make_imdb_lite, make_tpch_lite])
+    def test_database_pipeline_reproducible(self, maker):
+        def fingerprint():
+            db = maker(scale=0.2, seed=3)
+            opt = Optimizer(db)
+            sim = ExecutionSimulator(db)
+            gen = WorkloadGenerator(db, seed=9)
+            total = 0.0
+            for q in gen.workload(8, 1, 4):
+                total += sim.execute(opt.plan(q)).latency_ms
+            return total
+
+        assert fingerprint() == fingerprint()

@@ -1,0 +1,135 @@
+"""Robustness and failure-injection tests across module boundaries."""
+
+import numpy as np
+import pytest
+
+from repro.cardest import FSPNEstimator, HistogramEstimator
+from repro.core.framework import CandidatePlan
+from repro.core.interfaces import InjectedCardinalities
+from repro.e2e import BaoOptimizer, OptimizationLoop
+from repro.engine import ExecutionSimulator, SimulatorConfig
+from repro.optimizer import Optimizer
+from repro.pilotscope import PilotScopeConsole, SimulatedPostgreSQL
+from repro.sql import Query, WorkloadGenerator
+from repro.storage import make_stats_lite, make_tpch_lite
+
+
+class TestBrokenEstimatorInjection:
+    """The planner must survive arbitrarily broken estimators."""
+
+    @pytest.mark.parametrize(
+        "value", [float("nan"), float("inf"), -5.0, 0.0, 1e30]
+    )
+    def test_planner_survives_pathological_estimates(self, stats_db, value):
+        class Broken:
+            def estimate(self, query):
+                return value
+
+        opt = Optimizer(stats_db).with_estimator(Broken())
+        gen = WorkloadGenerator(stats_db, seed=170)
+        q = gen.random_query(2, 4, require_predicate=True)
+        plan = opt.plan(q)  # must not raise
+        assert plan.root.tables == frozenset(q.tables)
+
+    def test_simulator_results_independent_of_estimator(self, stats_db):
+        """Broken estimates change plans, never results."""
+
+        class Broken:
+            def estimate(self, query):
+                return 1.0
+
+        sim = ExecutionSimulator(stats_db)
+        native = Optimizer(stats_db)
+        broken = native.with_estimator(Broken())
+        gen = WorkloadGenerator(stats_db, seed=171)
+        for q in gen.workload(10, 1, 4, require_predicate=True):
+            a = sim.execute(native.plan(q)).cardinality
+            b = sim.execute(broken.plan(q)).cardinality
+            assert a == b
+
+    def test_injection_wrapper_rejects_bad_batch(self, stats_db):
+        wrapped = InjectedCardinalities(HistogramEstimator(stats_db))
+        with pytest.raises(ValueError):
+            wrapped.inject_batch({"SELECT COUNT(*) FROM users": -3.0})
+
+
+class TestNoisySimulator:
+    def test_learning_still_works_under_noise(self, imdb_db, imdb_optimizer):
+        noisy = ExecutionSimulator(
+            imdb_db, SimulatorConfig(noise_sigma=0.15, noise_seed=7)
+        )
+        workload = WorkloadGenerator(imdb_db, seed=172).workload(
+            120, 2, 4, require_predicate=True
+        )
+        bao = BaoOptimizer(imdb_optimizer, seed=0)
+        loop = OptimizationLoop(bao, noisy, imdb_optimizer)
+        loop.run(workload)
+        s = loop.summary(tail=60)
+        # Noise makes learning harder but must not break it outright.
+        assert s["workload_speedup"] > 0.8
+
+    def test_noise_preserves_cardinality(self, stats_db, stats_optimizer):
+        noisy = ExecutionSimulator(
+            stats_db, SimulatorConfig(noise_sigma=0.5, noise_seed=3)
+        )
+        clean = ExecutionSimulator(stats_db)
+        gen = WorkloadGenerator(stats_db, seed=173)
+        q = gen.random_query(2, 3, require_predicate=True)
+        plan = stats_optimizer.plan(q)
+        assert noisy.execute(plan).cardinality == clean.execute(plan).cardinality
+
+
+class TestPilotScopeConfig:
+    def test_greedy_algorithm_config(self, stats_db):
+        pg = SimulatedPostgreSQL(stats_db)
+        gen = WorkloadGenerator(stats_db, seed=174)
+        q = gen.random_query(3, 4, require_predicate=True)
+        with pg.open_session() as session:
+            session.push_config("algorithm", "greedy")
+            plan = session.pull_plan(q)
+        assert plan.root.tables == frozenset(q.tables)
+
+    def test_console_accepts_query_objects_and_sql(self, stats_db):
+        console = PilotScopeConsole(SimulatedPostgreSQL(stats_db))
+        q = Query(("users",))
+        by_object = console.execute(q)
+        by_sql = console.execute(q.to_sql())
+        assert by_object.cardinality == by_sql.cardinality
+
+
+class TestCrossDatabaseSanity:
+    """Every major component must run on every bundled schema."""
+
+    @pytest.mark.parametrize("maker", [make_stats_lite, make_tpch_lite])
+    def test_fspn_and_bao_on_other_schemas(self, maker):
+        db = maker(scale=0.25, seed=11)
+        est = FSPNEstimator(db)
+        opt = Optimizer(db)
+        sim = ExecutionSimulator(db)
+        gen = WorkloadGenerator(db, seed=175)
+        workload = gen.workload(20, 1, 4, require_predicate=True)
+        for q in workload[:5]:
+            assert est.estimate(q) >= 0.0
+        bao = BaoOptimizer(opt, seed=0)
+        loop = OptimizationLoop(bao, sim, opt)
+        loop.run(workload)
+        assert loop.summary()["n_queries"] == 20
+
+    def test_guard_on_tpch_uniform_data(self):
+        """On uniform TPC-H-like data the native optimizer is hard to
+        beat; the loop must remain stable anyway."""
+        from repro.costmodel import PlanFeaturizer
+        from repro.regression import Eraser
+
+        db = make_tpch_lite(scale=0.25, seed=12)
+        opt = Optimizer(db)
+        sim = ExecutionSimulator(db)
+        feat = PlanFeaturizer(db, opt.estimator)
+        workload = WorkloadGenerator(db, seed=176).workload(
+            40, 2, 4, require_predicate=True
+        )
+        loop = OptimizationLoop(
+            BaoOptimizer(opt, seed=0), sim, opt, guard=Eraser(feat)
+        )
+        loop.run(workload)
+        assert loop.summary()["worst_regression"] < 5.0
