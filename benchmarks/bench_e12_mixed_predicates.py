@@ -14,7 +14,7 @@ workload; retraining on mixed examples recovers accuracy.
 
 import numpy as np
 
-from repro.bench import render_table
+from repro.bench import estimate_workload, render_table
 from repro.cardest import (
     FSPNEstimator,
     GBDTQueryEstimator,
@@ -43,8 +43,7 @@ def test_e12_mixed_predicates(benchmark, stats_db, stats_executor):
     mixed_truth = np.array([stats_executor.cardinality(q) for q in mixed_test])
 
     def gmq(est, queries, truth):
-        preds = np.array([est.estimate(q) for q in queries])
-        return q_error_summary(preds, truth)["gmq"]
+        return q_error_summary(estimate_workload(est, queries), truth)["gmq"]
 
     def run():
         rows = []

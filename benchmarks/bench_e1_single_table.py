@@ -15,7 +15,7 @@ import time
 import numpy as np
 
 from repro.bench import build_estimator, render_table
-from repro.bench.suite import fit_estimator
+from repro.bench.suite import estimate_workload, fit_estimator
 from repro.cardest.base import q_error_summary
 from repro.sql import WorkloadGenerator
 
@@ -53,7 +53,7 @@ def test_e1_single_table_accuracy(benchmark, stats_db, stats_executor):
             est = build_estimator(name, stats_db, budget="full")
             build_s = fit_estimator(est, train_q, train_c)
             t0 = time.perf_counter()
-            preds = np.array([est.estimate(q) for q in test_q])
+            preds = estimate_workload(est, test_q)
             infer_ms = (time.perf_counter() - t0) / len(test_q) * 1000
             s = q_error_summary(preds, test_c)
             summaries[name] = s

@@ -13,7 +13,7 @@ Robust-MSCN degrades the least without any update.
 
 import numpy as np
 
-from repro.bench import apply_drift, render_table
+from repro.bench import apply_drift, estimate_workload, render_table
 from repro.cardest import (
     BayesNetEstimator,
     FSPNEstimator,
@@ -58,9 +58,7 @@ def test_e2_drift(benchmark):
         rows = []
         results = {}
         for name, est in methods.items():
-            stale = q_error_summary(
-                np.array([est.estimate(q) for q in test_q]), test_c
-            )
+            stale = q_error_summary(estimate_workload(est, test_q), test_c)
             # Refresh: rebuild data-driven models; refit supervised models
             # on post-drift feedback; re-ANALYZE the histogram.
             if hasattr(est, "refresh"):
@@ -72,9 +70,7 @@ def test_e2_drift(benchmark):
                 fresh_q = fresh_gen.workload(350, 1, 3, require_predicate=True)
                 fresh_c = np.array([executor.cardinality(q) for q in fresh_q])
                 est.fit(fresh_q, fresh_c)
-            fresh = q_error_summary(
-                np.array([est.estimate(q) for q in test_q]), test_c
-            )
+            fresh = q_error_summary(estimate_workload(est, test_q), test_c)
             results[name] = (stale, fresh)
             rows.append(
                 (name, stale["gmq"], stale["p90"], fresh["gmq"], fresh["p90"])
@@ -109,11 +105,11 @@ def test_e2_drift(benchmark):
         )
         c_truth = np.array([clean_exec.cardinality(q) for q in c_test])
         stale_w = q_error_summary(
-            np.array([gbdt.estimate(q) for q in c_test]), c_truth
+            estimate_workload(gbdt, c_test), c_truth
         )
         warper.adapt()
         fresh_w = q_error_summary(
-            np.array([gbdt.estimate(q) for q in c_test]), c_truth
+            estimate_workload(gbdt, c_test), c_truth
         )
         results["warper(gbdt)"] = (stale_w, fresh_w)
         rows.append(

@@ -12,9 +12,7 @@ the largest-workload query-driven models on this single-schema setting.
 
 import time
 
-import numpy as np
-
-from repro.bench import build_estimator, render_table
+from repro.bench import build_estimator, estimate_workload, render_table
 from repro.cardest.base import q_error_summary
 
 TRAIN_SIZES = [50, 150, 400]
@@ -36,7 +34,7 @@ def test_e3_design_space(benchmark, stats_db, stats_train, stats_test):
                 est.fit(train_q[:n], train_c[:n])
                 train_s = time.perf_counter() - t0
                 t0 = time.perf_counter()
-                preds = np.array([est.estimate(q) for q in test_q])
+                preds = estimate_workload(est, test_q)
                 infer_ms = (time.perf_counter() - t0) / len(test_q) * 1000
                 s = q_error_summary(preds, test_c)
                 gmq_by_size[name].append(s["gmq"])
@@ -46,7 +44,7 @@ def test_e3_design_space(benchmark, stats_db, stats_train, stats_test):
             est = build_estimator(name, stats_db, budget="full")
             train_s = time.perf_counter() - t0
             t0 = time.perf_counter()
-            preds = np.array([est.estimate(q) for q in test_q])
+            preds = estimate_workload(est, test_q)
             infer_ms = (time.perf_counter() - t0) / len(test_q) * 1000
             s = q_error_summary(preds, test_c)
             rows.append((name, "(data)", s["gmq"], s["p90"], train_s, infer_ms))

@@ -1,0 +1,140 @@
+"""P1: batched-inference throughput and the cross-plan cardinality cache.
+
+The planner and the e2e optimizers (Bao's arm sweep, Lero's factor sweep)
+ask for thousands of sub-query cardinalities per workload; this benchmark
+measures the two mechanisms that make that affordable:
+
+1. ``estimate_batch`` -- one featurization + one model forward pass for a
+   whole workload, versus the per-query ``estimate`` loop.  Model-backed
+   estimators (MLP, MSCN) must show a >= 5x speedup; loop-fallback
+   estimators (histogram, sampling) are included as the "no batch
+   implementation" reference and are only required not to regress.
+2. ``CardinalityCache`` -- the shared cross-plan sub-query cache.  Bao
+   re-plans every query once per hint-set arm; after the first arm almost
+   every DP-subset estimate is a hit, so the hit rate on an arm sweep must
+   exceed 50%.
+
+Expected shape: MLP/MSCN batch at 5-10x their sequential throughput
+(featurization amortizes, the forward pass almost vanishes); the cache hit
+rate on the arm sweep lands near (arms-1)/arms.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import build_estimator, estimate_workload, render_table
+from repro.bench.suite import fit_estimator
+from repro.optimizer import HintSet, Optimizer
+from repro.sql import WorkloadGenerator
+
+#: estimators with a real batched implementation -- must clear BATCH_SPEEDUP_MIN
+BATCHED_METHODS = ["linear", "gbdt", "mlp", "mscn"]
+#: loop-fallback reference points -- no speedup requirement
+FALLBACK_METHODS = ["histogram", "sampling"]
+BATCH_SPEEDUP_MIN = 5.0
+CACHE_HIT_RATE_MIN = 0.5
+
+
+def _throughput_row(name, est, queries):
+    """(single us/q, batch us/q, ratio), best-of-rounds on both paths."""
+    est.estimate_batch(queries)
+    for q in queries:
+        est.estimate(q)
+    n = len(queries)
+    single_us = np.inf
+    for _ in range(3):
+        t0 = time.perf_counter()
+        for q in queries:
+            est.estimate(q)
+        single_us = min(single_us, (time.perf_counter() - t0) / n * 1e6)
+    batch_us = np.inf
+    for _ in range(5):
+        t0 = time.perf_counter()
+        batch = est.estimate_batch(queries)
+        batch_us = min(batch_us, (time.perf_counter() - t0) / n * 1e6)
+    return single_us, batch_us, single_us / batch_us, batch
+
+
+def test_p1_batch_throughput(benchmark, stats_db, stats_train, stats_test):
+    train_q, train_c = stats_train
+    test_q, test_c = stats_test
+
+    def run():
+        rows = []
+        ratios = {}
+        for name in BATCHED_METHODS + FALLBACK_METHODS:
+            est = build_estimator(name, stats_db, budget="fast")
+            fit_estimator(est, train_q, train_c)
+            single_us, batch_us, ratio, batch = _throughput_row(
+                name, est, test_q
+            )
+            # The batch path must agree with the sequential path.
+            seq = np.array([est.estimate(q) for q in test_q])
+            assert np.allclose(batch, seq, rtol=1e-9, atol=1e-6), name
+            ratios[name] = ratio
+            rows.append((name, single_us, batch_us, ratio))
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        render_table(
+            "P1: sequential vs batched inference (stats_lite, 120 queries)",
+            ["method", "single_us_q", "batch_us_q", "speedup_x"],
+            rows,
+        )
+    )
+    for name in ["mlp", "mscn"]:
+        assert ratios[name] >= BATCH_SPEEDUP_MIN, (
+            f"{name}: batched speedup {ratios[name]:.1f}x below "
+            f"{BATCH_SPEEDUP_MIN}x"
+        )
+    for name in FALLBACK_METHODS:
+        # The loop fallback adds only clamping overhead; anything near 1x
+        # (or better) is fine, a large slowdown would mean a broken path.
+        assert ratios[name] > 0.5, f"{name}: fallback regressed ({ratios[name]:.2f}x)"
+
+
+def test_p1_planner_cache_hit_rate(benchmark, stats_db):
+    gen = WorkloadGenerator(stats_db, seed=11)
+    queries = gen.workload(20, 3, 5, require_predicate=True)
+    arms = HintSet.bao_arms()
+
+    def run():
+        # Fresh optimizer = fresh cache; the Bao-style sweep re-plans every
+        # query once per arm, exactly like HintSetExploration.candidates.
+        optimizer = Optimizer(stats_db)
+        for q in queries:
+            for arm in arms:
+                optimizer.plan(q, hints=arm)
+        return optimizer.cache_stats()
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(
+        render_table(
+            f"P1: cardinality-cache stats, {len(queries)} queries x "
+            f"{len(arms)} Bao arms",
+            ["entries", "hits", "misses", "evictions", "hit_rate"],
+            [(
+                stats["entries"], stats["hits"], stats["misses"],
+                stats["evictions"], f"{stats['hit_rate']:.3f}",
+            )],
+        )
+    )
+    assert stats["hit_rate"] > CACHE_HIT_RATE_MIN, (
+        f"planner cache hit rate {stats['hit_rate']:.3f} below "
+        f"{CACHE_HIT_RATE_MIN}"
+    )
+
+
+def test_p1_estimate_workload_matches_loop(stats_db, stats_train, stats_test):
+    """The bench-suite choke point agrees with the scalar loop for a
+    batched estimator and a fallback estimator alike."""
+    train_q, train_c = stats_train
+    test_q, _ = stats_test
+    for name in ["mlp", "histogram"]:
+        est = build_estimator(name, stats_db, budget="fast")
+        fit_estimator(est, train_q, train_c)
+        batch = estimate_workload(est, test_q)
+        seq = np.array([est.estimate(q) for q in test_q])
+        assert np.allclose(batch, seq, rtol=1e-9, atol=1e-6), name

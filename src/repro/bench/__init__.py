@@ -21,8 +21,11 @@ from repro.bench.workloads import (
 from repro.bench.suite import (
     build_estimator,
     data_driven_estimators,
+    estimate_workload,
+    fit_estimator,
     hybrid_estimators,
     query_driven_estimators,
+    traditional_estimators,
 )
 
 __all__ = [
@@ -36,4 +39,7 @@ __all__ = [
     "query_driven_estimators",
     "data_driven_estimators",
     "hybrid_estimators",
+    "traditional_estimators",
+    "fit_estimator",
+    "estimate_workload",
 ]

@@ -45,7 +45,9 @@ __all__ = [
     "data_driven_estimators",
     "hybrid_estimators",
     "traditional_estimators",
+    "registered_estimators",
     "fit_estimator",
+    "estimate_workload",
 ]
 
 #: supervised estimators whose ``fit`` takes (queries, cards)
@@ -71,20 +73,16 @@ def hybrid_estimators() -> list[str]:
     return ["uae", "glue", "alece"]
 
 
-def build_estimator(name: str, db: Database, *, budget: str = "fast", seed: int = 0):
-    """Construct one estimator by registry-style name.
-
-    ``budget`` is ``"fast"`` (test-suite scale) or ``"full"`` (benchmark
-    scale: more epochs / samples).
-    """
-    full = budget == "full"
+def _estimator_factories(db: Database, *, full: bool, seed: int) -> dict:
+    """Name -> zero-arg constructor; building the dict touches nothing."""
     epochs_nn = 80 if full else 30
     epochs_ar = 12 if full else 5
-    factories = {
+    return {
         "histogram": lambda: HistogramEstimator(db),
-        # Sampling rate ~5-10%: large enough to be a serious baseline,
-        # small enough that its selective-predicate tail blow-ups (the
-        # behaviour the benchmark papers report) are visible at this scale.
+        # Absolute per-table sample sizes (150 rows full / 100 fast), NOT a
+        # sampling rate: large enough to be a serious baseline, small enough
+        # that its selective-predicate tail blow-ups (the behaviour the
+        # benchmark papers report) are visible at this scale.
         "sampling": lambda: SamplingEstimator(db, 150 if full else 100, seed=seed),
         "linear": lambda: LinearQueryEstimator(db),
         "gbdt": lambda: GBDTQueryEstimator(db, seed=seed),
@@ -110,6 +108,20 @@ def build_estimator(name: str, db: Database, *, budget: str = "fast", seed: int 
         "glue": lambda: GLUEEstimator(db, FSPNEstimator(db, seed=seed)),
         "alece": lambda: ALECEEstimator(db, epochs=epochs_nn * 2, seed=seed),
     }
+
+
+def registered_estimators() -> list[str]:
+    """Every name :func:`build_estimator` accepts, sorted."""
+    return sorted(_estimator_factories(None, full=False, seed=0))
+
+
+def build_estimator(name: str, db: Database, *, budget: str = "fast", seed: int = 0):
+    """Construct one estimator by registry-style name.
+
+    ``budget`` is ``"fast"`` (test-suite scale) or ``"full"`` (benchmark
+    scale: more epochs / samples).
+    """
+    factories = _estimator_factories(db, full=budget == "full", seed=seed)
     if name not in factories:
         raise ValueError(f"unknown estimator {name!r}; valid: {sorted(factories)}")
     return factories[name]()
@@ -118,15 +130,31 @@ def build_estimator(name: str, db: Database, *, budget: str = "fast", seed: int 
 def fit_estimator(estimator, train_queries: list[Query], train_cards: np.ndarray) -> float:
     """Fit an estimator with whatever supervision it accepts.
 
-    Returns the wall-clock training seconds.  Data-driven models were
-    already built at construction; hybrid models take query feedback via
-    their own methods.
+    Returns the wall-clock training seconds.  Exactly one branch applies
+    per estimator: hybrids expose ``fit_queries`` (query feedback on top of
+    a data model), supervised query-driven models expose ``fit`` and are
+    listed in ``_SUPERVISED``, and sample-prebuilding data-driven models
+    expose ``prebuild``.  Pure data-driven models were already built at
+    construction and fall through untouched.
     """
     t0 = time.perf_counter()
     if hasattr(estimator, "fit_queries"):
         estimator.fit_queries(train_queries, train_cards)
-    elif hasattr(estimator, "fit") and getattr(estimator, "name", "") in _SUPERVISED:
+    elif getattr(estimator, "name", "") in _SUPERVISED:
         estimator.fit(train_queries, train_cards)
     elif hasattr(estimator, "prebuild"):
         estimator.prebuild(train_queries)
     return time.perf_counter() - t0
+
+
+def estimate_workload(estimator, queries: list[Query]) -> np.ndarray:
+    """Estimates for a whole workload through the batched API.
+
+    Thin wrapper over :func:`repro.core.interfaces.batch_estimate` so every
+    benchmark goes through one choke point: estimators with a native
+    ``estimate_batch`` answer in one forward pass, everything else falls
+    back to a scalar loop with identical results.
+    """
+    from repro.core.interfaces import batch_estimate
+
+    return batch_estimate(estimator, queries)

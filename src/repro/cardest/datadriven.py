@@ -74,6 +74,7 @@ class PerTableModelEstimator(BaseCardinalityEstimator):
         """Rebuild the per-table models and join-size cache from the data."""
         self._join_sizes.invalidate()
         self._build_all()
+        self._bump_estimates_version()
 
     def _build_table_model(self, table: str) -> object:
         raise NotImplementedError

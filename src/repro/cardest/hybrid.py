@@ -57,10 +57,12 @@ class UAEEstimator(BaseCardinalityEstimator):
         self._correction = GradientBoostedTrees(
             n_estimators=40, max_depth=4, seed=self.seed
         ).fit(x, true_logs - data_logs)
+        self._bump_estimates_version()
         return self
 
     def refresh(self) -> None:
         self._data_model.refresh()
+        self._bump_estimates_version()
 
     def _estimate(self, query: Query) -> float:
         base = max(self._data_model.estimate(query), 0.0)
@@ -69,6 +71,19 @@ class UAEEstimator(BaseCardinalityEstimator):
         x = self._featurizer.featurize(query)[None, :]
         resid = float(self._correction.predict(x)[0])
         return float(np.expm1(math.log1p(base) + resid))
+
+    def _estimate_batch(self, queries: list[Query]) -> np.ndarray:
+        # The data model's progressive sampling consumes its RNG per call,
+        # so the data passes stay a loop (in workload order, matching the
+        # scalar path); only the correction model runs batched.
+        bases = np.array(
+            [max(self._data_model.estimate(q), 0.0) for q in queries]
+        )
+        if self._correction is None:
+            return bases
+        x = self._featurizer.featurize_batch(queries)
+        resid = self._correction.predict(x)
+        return np.expm1(np.log1p(bases) + resid)
 
 
 class GLUEEstimator(BaseCardinalityEstimator):
@@ -183,6 +198,7 @@ class ALECEEstimator(BaseCardinalityEstimator):
     def refresh(self) -> None:
         """Recompute data tokens from the live data (no retraining)."""
         self.tokens = self._build_tokens()
+        self._bump_estimates_version()
 
     # -- forward / backward -------------------------------------------------------
 
@@ -245,6 +261,7 @@ class ALECEEstimator(BaseCardinalityEstimator):
                 grads = self._backward(grad)
                 opt.step(self._params, grads)
         self._fitted = True
+        self._bump_estimates_version()
         return self
 
     def _estimate(self, query: Query) -> float:
@@ -252,3 +269,9 @@ class ALECEEstimator(BaseCardinalityEstimator):
             raise RuntimeError("ALECE.estimate called before fit")
         x = self.featurizer.featurize(query)[None, :]
         return float(np.expm1(self._forward(x)[0, 0]))
+
+    def _estimate_batch(self, queries: list[Query]) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("ALECE.estimate_batch called before fit")
+        x = self.featurizer.featurize_batch(queries)
+        return np.expm1(self._forward(x)[:, 0])

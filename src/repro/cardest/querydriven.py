@@ -62,6 +62,7 @@ class _SupervisedFlatEstimator(BaseCardinalityEstimator):
         y = _log_card(np.asarray(cards))
         self._fit_impl(x, y)
         self._fitted = True
+        self._bump_estimates_version()
         return self
 
     def _fit_impl(self, x: np.ndarray, y: np.ndarray) -> None:
@@ -75,6 +76,14 @@ class _SupervisedFlatEstimator(BaseCardinalityEstimator):
             raise RuntimeError(f"{type(self).__name__}.estimate called before fit")
         x = self.featurizer.featurize(query)[None, :]
         return float(np.expm1(self._predict_log(x)[0]))
+
+    def _estimate_batch(self, queries: list[Query]) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError(
+                f"{type(self).__name__}.estimate_batch called before fit"
+            )
+        x = self.featurizer.featurize_batch(queries)
+        return np.expm1(self._predict_log(x))
 
 
 class LinearQueryEstimator(_SupervisedFlatEstimator):
@@ -238,6 +247,7 @@ class QuickSelEstimator(BaseCardinalityEstimator):
             raise ValueError(
                 "QuickSel needs single-table training queries with predicates"
             )
+        self._bump_estimates_version()
         return self
 
     def _table_selectivity(self, query: Query, table: str) -> float:
@@ -300,6 +310,7 @@ class MSCNEstimator(BaseCardinalityEstimator):
         y = self._targets(np.asarray(cards))
         self.net.fit(samples, y, epochs=self.epochs, lr=self.lr, seed=self.seed)
         self._fitted = True
+        self._bump_estimates_version()
         return self
 
     def _featurize_inference(self, query: Query) -> dict:
@@ -310,6 +321,13 @@ class MSCNEstimator(BaseCardinalityEstimator):
             raise RuntimeError("MSCN.estimate called before fit")
         pred = self.net.predict([self._featurize_inference(query)])[0]
         return float(np.expm1(pred * self._max_log))
+
+    def _estimate_batch(self, queries: list[Query]) -> np.ndarray:
+        if not self._fitted:
+            raise RuntimeError("MSCN.estimate_batch called before fit")
+        batch = self.featurizer.featurize_workload(queries)
+        preds = self.net.predict_padded(batch)
+        return np.expm1(preds * self._max_log)
 
 
 class PooledMSCNEstimator(MSCNEstimator):
@@ -431,6 +449,7 @@ class CRNEstimator(BaseCardinalityEstimator):
         )
         self._net.fit(x, y, epochs=self.epochs, lr=2e-3, loss="mse")
         del rng
+        self._bump_estimates_version()
         return self
 
     def _estimate(self, query: Query) -> float:
@@ -563,6 +582,7 @@ class GLPlusEstimator(BaseCardinalityEstimator):
                 local = MLP(x.shape[1], self.hidden, 1, seed=self.seed + seg + 1)
                 local.fit(x[members], y[members], epochs=self.epochs, lr=2e-3)
                 self._local[seg] = local
+        self._bump_estimates_version()
         return self
 
     @property
@@ -576,6 +596,18 @@ class GLPlusEstimator(BaseCardinalityEstimator):
         seg = int(self._kmeans.predict(x)[0])
         model = self._local.get(seg, self._global)
         return float(np.expm1(np.atleast_1d(model.predict(x))[0]))
+
+    def _estimate_batch(self, queries: list[Query]) -> np.ndarray:
+        if self._global is None or self._kmeans is None:
+            raise RuntimeError("GL+.estimate_batch called before fit")
+        x = self.featurizer.featurize_batch(queries)
+        segs = self._kmeans.predict(x)
+        out = np.empty(len(queries))
+        for seg in np.unique(segs):
+            members = segs == seg
+            model = self._local.get(int(seg), self._global)
+            out[members] = np.atleast_1d(model.predict(x[members]))
+        return np.expm1(out)
 
 
 class LPCEEstimator(BaseCardinalityEstimator):
@@ -604,16 +636,18 @@ class LPCEEstimator(BaseCardinalityEstimator):
 
     def fit(self, queries: list[Query], cards: np.ndarray) -> "LPCEEstimator":
         self._initial.fit(queries, cards)
+        self._bump_estimates_version()
         return self
 
     def observe(self, query: Query, true_card: float) -> None:
         """Feed back the true cardinality of an executed (sub-)query."""
-        self._cache[query.to_sql()] = float(true_card)
+        self._cache[query.cache_key] = float(true_card)
         self._feedback.append((query, float(true_card)))
         self._since_refit += 1
         if self._since_refit >= self.refit_every:
             self._refit_correction()
             self._since_refit = 0
+        self._bump_estimates_version()
 
     def _refit_correction(self) -> None:
         if len(self._feedback) < 10:
@@ -628,7 +662,7 @@ class LPCEEstimator(BaseCardinalityEstimator):
         ).fit(x, residual)
 
     def _estimate(self, query: Query) -> float:
-        hit = self._cache.get(query.to_sql())
+        hit = self._cache.get(query.cache_key)
         if hit is not None:
             return hit
         x = self._initial.featurizer.featurize(query)[None, :]
@@ -636,3 +670,22 @@ class LPCEEstimator(BaseCardinalityEstimator):
         if self._correction is not None:
             log_est = log_est + self._correction.predict(x)
         return float(np.expm1(log_est[0]))
+
+    def _estimate_batch(self, queries: list[Query]) -> np.ndarray:
+        out = np.empty(len(queries))
+        miss_idx: list[int] = []
+        misses: list[Query] = []
+        for i, q in enumerate(queries):
+            hit = self._cache.get(q.cache_key)
+            if hit is not None:
+                out[i] = hit
+            else:
+                miss_idx.append(i)
+                misses.append(q)
+        if misses:
+            x = self._initial.featurizer.featurize_batch(misses)
+            log_est = self._initial._predict_log(x)
+            if self._correction is not None:
+                log_est = log_est + self._correction.predict(x)
+            out[miss_idx] = np.expm1(log_est)
+        return out

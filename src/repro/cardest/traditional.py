@@ -8,6 +8,11 @@
   queries are answered exactly on the sampled sub-database and scaled by
   the inverse sampling fractions.  Unbiased but with the well-known
   variance blow-up on selective predicates and multi-way joins.
+
+Both support :meth:`estimate_batch` through the base-class fallback: their
+cost is histogram lookups / sample execution per query (not featurization
+or model forward passes), so there is nothing to amortize across a
+workload and the scalar loop is already the fast path.
 """
 
 from __future__ import annotations

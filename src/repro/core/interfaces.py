@@ -4,7 +4,8 @@ Every learned (and traditional) component plugs into the optimizer through
 one of these small protocols:
 
 - :class:`CardinalityEstimator` -- ``estimate(query) -> float`` for any SPJ
-  (sub-)query.  Implemented by the traditional histogram estimator and by
+  (sub-)query, plus the batched ``estimate_batch(queries) -> np.ndarray``
+  fast path.  Implemented by the traditional histogram estimator and by
   every method in :mod:`repro.cardest`.
 - :class:`CostEstimator` -- ``cost(plan) -> float`` (planner cost units).
 - :class:`LatencyPredictor` -- ``predict_latency(plan) -> float`` (ms);
@@ -16,11 +17,20 @@ Two generic wrappers give the planner its tuning knobs:
   (PilotScope's batch cardinality-injection interface, §3.2);
 - :class:`ScaledCardinalities` multiplies estimates by per-join-level
   factors (Lero's plan-exploration knob [79]).
+
+:func:`batch_estimate` dispatches to ``estimate_batch`` when an estimator
+provides it and loops otherwise, so callers can batch unconditionally.
+:func:`estimator_cache_tag` produces the identity component of cardinality
+cache keys (see :class:`repro.optimizer.CardinalityCache`): two lookups
+share cached values only when the tags match, and the tag changes whenever
+the estimator's answers may change.
 """
 
 from __future__ import annotations
 
 from typing import Protocol, runtime_checkable
+
+import numpy as np
 
 from repro.engine.plans import Plan
 from repro.sql.query import Query
@@ -32,6 +42,8 @@ __all__ = [
     "InjectedCardinalities",
     "ScaledCardinalities",
     "subquery_key",
+    "batch_estimate",
+    "estimator_cache_tag",
 ]
 
 
@@ -42,6 +54,46 @@ class CardinalityEstimator(Protocol):
     def estimate(self, query: Query) -> float:
         """Estimated COUNT(*) of the query (>= 0)."""
         ...
+
+
+def batch_estimate(estimator: CardinalityEstimator, queries: list[Query]) -> np.ndarray:
+    """Batched estimates through whatever API the estimator offers.
+
+    Uses ``estimator.estimate_batch`` (one featurization pass + one model
+    forward pass for implementations in :mod:`repro.cardest`) when present,
+    and falls back to a scalar loop for minimal estimators that only
+    implement the :class:`CardinalityEstimator` protocol.
+    """
+    queries = list(queries)
+    if not queries:
+        return np.zeros(0)
+    batched = getattr(estimator, "estimate_batch", None)
+    if batched is not None:
+        return np.asarray(batched(queries), dtype=float)
+    return np.array([estimator.estimate(q) for q in queries], dtype=float)
+
+
+def estimator_cache_tag(estimator) -> tuple:
+    """Cache-key component identifying an estimator *and* its current state.
+
+    The tag pairs the instance identity with its ``estimates_version`` (0
+    for stateless estimators), so refits/refreshes/feedback invalidate
+    cached cardinalities without any explicit flush.  The steering wrappers
+    unwrap recursively: a :class:`ScaledCardinalities` tag is derived from
+    its base plus the factor, which lets Lero's per-factor wrapper objects
+    (recreated every planning) keep hitting the same cache entries.
+    """
+    if isinstance(estimator, ScaledCardinalities):
+        return (*estimator_cache_tag(estimator.base), "scale", estimator.factor)
+    if isinstance(estimator, InjectedCardinalities):
+        return (
+            *estimator_cache_tag(estimator.base),
+            "injected",
+            id(estimator),
+            estimator.generation,
+        )
+    version = getattr(estimator, "estimates_version", 0)
+    return (type(estimator).__name__, id(estimator), version)
 
 
 @runtime_checkable
@@ -62,8 +114,8 @@ class LatencyPredictor(Protocol):
 
 def subquery_key(query: Query) -> str:
     """Canonical string key identifying a sub-query (tables + predicates +
-    joins).  Query canonicalizes member ordering, so ``to_sql`` is stable."""
-    return query.to_sql()
+    joins).  Query canonicalizes member ordering, so the key is stable."""
+    return query.cache_key
 
 
 class InjectedCardinalities:
@@ -72,7 +124,8 @@ class InjectedCardinalities:
     This is PilotScope's cardinality-injection surface: a driver computes
     cardinalities for all sub-queries of the current query in a batch and
     pushes them into the planner; anything not injected falls back to the
-    wrapped estimator.
+    wrapped estimator.  ``generation`` counts injection updates so cached
+    plannings never see stale overrides.
     """
 
     def __init__(
@@ -82,26 +135,47 @@ class InjectedCardinalities:
     ) -> None:
         self.base = base
         self.injected: dict[str, float] = dict(injected or {})
+        self.generation = 0
 
     def inject(self, query: Query, cardinality: float) -> None:
         if cardinality < 0:
             raise ValueError(f"cardinality must be >= 0, got {cardinality}")
         self.injected[subquery_key(query)] = float(cardinality)
+        self.generation += 1
 
     def inject_batch(self, pairs: dict[str, float]) -> None:
         for key, value in pairs.items():
             if value < 0:
                 raise ValueError(f"cardinality must be >= 0, got {value} for {key}")
         self.injected.update(pairs)
+        self.generation += 1
 
     def clear(self) -> None:
         self.injected.clear()
+        self.generation += 1
 
     def estimate(self, query: Query) -> float:
         hit = self.injected.get(subquery_key(query))
         if hit is not None:
             return hit
         return self.base.estimate(query)
+
+    def estimate_batch(self, queries: list[Query]) -> np.ndarray:
+        """Injected overrides answered from the table; the rest batched."""
+        queries = list(queries)
+        out = np.empty(len(queries))
+        miss_idx: list[int] = []
+        misses: list[Query] = []
+        for i, q in enumerate(queries):
+            hit = self.injected.get(subquery_key(q))
+            if hit is not None:
+                out[i] = hit
+            else:
+                miss_idx.append(i)
+                misses.append(q)
+        if misses:
+            out[miss_idx] = batch_estimate(self.base, misses)
+        return out
 
 
 class ScaledCardinalities:
@@ -123,3 +197,8 @@ class ScaledCardinalities:
     def estimate(self, query: Query) -> float:
         power = max(query.n_tables - 1, 1)
         return self.base.estimate(query) * self.factor**power
+
+    def estimate_batch(self, queries: list[Query]) -> np.ndarray:
+        queries = list(queries)
+        powers = np.array([max(q.n_tables - 1, 1) for q in queries], dtype=float)
+        return batch_estimate(self.base, queries) * self.factor**powers

@@ -41,3 +41,12 @@ class BaoOptimizer(LearnedOptimizer):
             name="bao",
         )
         self.optimizer = optimizer
+
+    def cache_stats(self) -> dict[str, float]:
+        """Cardinality-cache counters accumulated across the arm sweeps.
+
+        Every arm re-plans the same query, so after the first arm almost
+        every sub-query estimate is a cache hit -- the cache is what keeps
+        Bao's steering overhead near a single planning.
+        """
+        return self.optimizer.cache_stats()

@@ -45,31 +45,43 @@ class _SetModule:
         self.b2 = np.zeros(hidden)
         self.grads = [np.zeros_like(p) for p in (self.w1, self.b1, self.w2, self.b2)]
 
-    def forward(self, padded: np.ndarray, mask: np.ndarray) -> np.ndarray:
+    def forward(
+        self, padded: np.ndarray, mask: np.ndarray, *, train: bool = True
+    ) -> np.ndarray:
         # padded: [B, S, item_dim]; mask: [B, S] with 1 for real elements.
-        self._padded, self._mask = padded, mask
+        # With train=False the intermediates needed by backward() are not
+        # stored and the ReLUs run in place -- same values, less allocation.
         b, s, d = padded.shape
         flat = padded.reshape(b * s, d)
         h1 = flat @ self.w1 + self.b1
-        self._m1 = h1 > 0
-        h1 = h1 * self._m1
-        self._h1 = h1
+        if train:
+            self._padded, self._mask = padded, mask
+            self._m1 = h1 > 0
+            h1 = h1 * self._m1
+            self._h1 = h1
+        else:
+            np.maximum(h1, 0.0, out=h1)
         h2 = h1 @ self.w2 + self.b2
-        self._m2 = h2 > 0
-        h2 = (h2 * self._m2).reshape(b, s, self.hidden)
+        if train:
+            self._m2 = h2 > 0
+            h2 = h2 * self._m2
+        else:
+            np.maximum(h2, 0.0, out=h2)
+        h2 = h2.reshape(b, s, self.hidden)
         counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
-        self._counts = counts
+        if train:
+            self._counts = counts
         if self.pooling == "max":
             # Mask out padding with -inf so it never wins the max; an
             # all-empty set pools to zero.
             masked = np.where(mask[:, :, None] > 0, h2, -np.inf)
-            self._argmax = masked.argmax(axis=1)  # [b, hidden]
-            pooled = np.take_along_axis(
-                h2, self._argmax[:, None, :], axis=1
-            )[:, 0, :]
+            argmax = masked.argmax(axis=1)  # [b, hidden]
+            pooled = np.take_along_axis(h2, argmax[:, None, :], axis=1)[:, 0, :]
             empty = mask.sum(axis=1) == 0
             pooled[empty] = 0.0
-            self._empty = empty
+            if train:
+                self._argmax = argmax
+                self._empty = empty
             return pooled
         return (h2 * mask[:, :, None]).sum(axis=1) / counts
 
@@ -166,18 +178,45 @@ class SetConvNet:
     # -- forward / backward -------------------------------------------------------
 
     def forward(self, batch: Mapping[str, Sequence[np.ndarray]]) -> np.ndarray:
+        padded_batch = {
+            name: self._pad(batch[name], self.modules[name].item_dim)
+            for name in self.module_names
+        }
+        return self.forward_padded(padded_batch)
+
+    def forward_padded(
+        self,
+        batch: Mapping[str, tuple[np.ndarray, np.ndarray]],
+        *,
+        train: bool = True,
+    ) -> np.ndarray:
+        """Forward pass over already-padded sets: ``{name: (padded, mask)}``.
+
+        The fast path for batched inference -- featurizers that build padded
+        arrays directly (``MSCNFeaturizer.featurize_workload``) skip the
+        per-query set lists entirely.  Masked pooling makes the result
+        independent of the padded length, so any padding >= the longest set
+        gives the same output as :meth:`forward`.  ``train=False`` skips
+        storing the backward-pass intermediates (inference only).
+        """
         pooled = []
         for name in self.module_names:
-            module = self.modules[name]
-            padded, mask = self._pad(batch[name], module.item_dim)
-            pooled.append(module.forward(padded, mask))
-        self._concat = np.concatenate(pooled, axis=1)
-        h = self._concat @ self.w1 + self.b1
-        self._hm = h > 0
-        self._h = h * self._hm
-        out = self._h @ self.w2 + self.b2
-        self._sig = 1.0 / (1.0 + np.exp(-np.clip(out, -60, 60)))
-        return self._sig
+            padded, mask = batch[name]
+            pooled.append(self.modules[name].forward(padded, mask, train=train))
+        concat = np.concatenate(pooled, axis=1)
+        h = concat @ self.w1 + self.b1
+        if train:
+            self._concat = concat
+            self._hm = h > 0
+            h = h * self._hm
+            self._h = h
+        else:
+            np.maximum(h, 0.0, out=h)
+        out = h @ self.w2 + self.b2
+        sig = 1.0 / (1.0 + np.exp(-np.clip(out, -60, 60)))
+        if train:
+            self._sig = sig
+        return sig
 
     def _backward(self, grad: np.ndarray) -> None:
         grad = grad * self._sig * (1.0 - self._sig)
@@ -254,3 +293,9 @@ class SetConvNet:
             return np.zeros(0)
         batch = {name: [s[name] for s in samples] for name in self.module_names}
         return self.forward(batch)[:, 0]
+
+    def predict_padded(
+        self, batch: Mapping[str, tuple[np.ndarray, np.ndarray]]
+    ) -> np.ndarray:
+        """Predictions from pre-padded sets (see :meth:`forward_padded`)."""
+        return self.forward_padded(batch, train=False)[:, 0]

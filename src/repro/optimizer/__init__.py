@@ -16,6 +16,7 @@ The planner accepts two steering surfaces used by every learned method:
 
 from repro.optimizer.statistics import ColumnStats, DatabaseStats, TableStats
 from repro.optimizer.traditional import TraditionalCardinalityEstimator
+from repro.optimizer.cardcache import CardinalityCache
 from repro.optimizer.cost import PlanCoster
 from repro.optimizer.hints import HintSet
 from repro.optimizer.planner import Optimizer
@@ -25,6 +26,7 @@ __all__ = [
     "TableStats",
     "DatabaseStats",
     "TraditionalCardinalityEstimator",
+    "CardinalityCache",
     "PlanCoster",
     "HintSet",
     "Optimizer",

@@ -1,0 +1,102 @@
+"""Cross-plan cardinality cache.
+
+Plan enumeration asks the cardinality estimator about the same sub-queries
+over and over: the DP enumerator visits every connected subset once per
+planning, and the e2e methods re-plan the *same* query many times -- once
+per hint-set arm in Bao, once per scaling factor in Lero.  The sub-query
+cardinalities do not change across those plannings, so a shared
+:class:`CardinalityCache` turns all but the first estimation of each
+(estimator-state, sub-query) pair into a dictionary lookup.
+
+Keys pair :func:`repro.core.interfaces.estimator_cache_tag` (instance +
+``estimates_version``, unwrapping steering wrappers) with the query's
+canonical ``cache_key`` text, so refits, feedback, injected overrides and
+data drift all invalidate naturally -- stale entries are simply never
+looked up again and age out of the LRU ring.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.sql.query import Query
+
+__all__ = ["CardinalityCache"]
+
+
+class CardinalityCache:
+    """Bounded LRU map from (estimator tag, sub-query) to cardinality.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of entries; least-recently-used entries are evicted
+        beyond it.  The default comfortably holds every connected subset of
+        the benchmark workloads times a handful of estimator states.
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, float]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def lookup(self, tag: tuple, query: Query) -> float | None:
+        """Cached cardinality, or None; counts a hit or a miss either way."""
+        key = (tag, query.cache_key)
+        value = self._entries.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return value
+
+    def insert(self, tag: tuple, query: Query, value: float) -> None:
+        key = (tag, query.cache_key)
+        self._entries[key] = float(value)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_compute(
+        self, tag: tuple, query: Query, compute: Callable[[Query], float]
+    ) -> float:
+        value = self.lookup(tag, query)
+        if value is None:
+            value = float(compute(query))
+            self.insert(tag, query, value)
+        return value
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; they describe the session)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"CardinalityCache(entries={len(self._entries)}, "
+            f"hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )

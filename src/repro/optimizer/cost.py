@@ -5,13 +5,25 @@ cardinalities produced by any :class:`repro.core.CardinalityEstimator`.
 Because the simulator evaluates the same formulas on true cardinalities,
 ``coster.cost(plan)`` equals the plan's real cost exactly when the estimates
 are exact -- estimation error is the sole source of plan-choice error.
+
+Costers can share a :class:`repro.optimizer.CardinalityCache`: every
+sub-query estimate is answered from the cache when possible and batched
+through :func:`repro.core.interfaces.batch_estimate` when the enumerator
+primes many subsets at once (:meth:`PlanCoster.subquery_cardinalities`).
 """
 
 from __future__ import annotations
 
-from repro.core.interfaces import CardinalityEstimator
+import numpy as np
+
+from repro.core.interfaces import (
+    CardinalityEstimator,
+    batch_estimate,
+    estimator_cache_tag,
+)
 from repro.engine.cost_formulas import CostConstants, OperatorCosts
 from repro.engine.plans import JoinMethod, JoinNode, Plan, PlanNode, ScanMethod, ScanNode
+from repro.optimizer.cardcache import CardinalityCache
 from repro.sql.query import Query
 from repro.storage.catalog import Database
 
@@ -19,28 +31,81 @@ __all__ = ["PlanCoster"]
 
 
 class PlanCoster:
-    """Estimated-cost evaluation of plans and plan fragments."""
+    """Estimated-cost evaluation of plans and plan fragments.
+
+    When ``cache`` is given, every cardinality the coster needs is looked
+    up in (and inserted into) it, keyed by the estimator's current state
+    tag and the database's ``data_version`` -- so the cache can safely
+    outlive a single planning and be shared across costers wrapping
+    different steering wrappers around the same base estimator.
+    """
 
     def __init__(
         self,
         db: Database,
         estimator: CardinalityEstimator,
         constants: CostConstants | None = None,
+        cache: CardinalityCache | None = None,
     ) -> None:
         self.db = db
         self.estimator = estimator
         self.ops = OperatorCosts(constants)
+        self.cache = cache
 
     # -- cardinalities ------------------------------------------------------------
 
+    def _cache_tag(self) -> tuple:
+        return (estimator_cache_tag(self.estimator), self.db.data_version)
+
+    def estimate_cardinality(self, query: Query) -> float:
+        """Cached (if enabled) estimate of one sub-query."""
+        if self.cache is None:
+            return max(self.estimator.estimate(query), 0.0)
+        return self.cache.get_or_compute(
+            self._cache_tag(), query, lambda q: max(self.estimator.estimate(q), 0.0)
+        )
+
     def subquery_cardinality(self, query: Query, tables: frozenset[str]) -> float:
-        return max(self.estimator.estimate(query.subquery(tables)), 0.0)
+        return self.estimate_cardinality(query.subquery(tables))
+
+    def subquery_cardinalities(
+        self, query: Query, subsets: list[frozenset[str]]
+    ) -> dict[frozenset[str], float]:
+        """Cardinalities for many subsets of one query at once.
+
+        Answers what it can from the cache and runs a single
+        :func:`batch_estimate` call over the misses -- this is how the DP
+        enumerator primes all connected subsets with one featurization pass
+        and one model forward pass before its inner loop runs.
+        """
+        out: dict[frozenset[str], float] = {}
+        tag = self._cache_tag() if self.cache is not None else None
+        misses: list[frozenset[str]] = []
+        miss_queries: list[Query] = []
+        for tables in subsets:
+            if tables in out:
+                continue
+            sub = query.subquery(tables)
+            hit = self.cache.lookup(tag, sub) if self.cache is not None else None
+            if hit is not None:
+                out[tables] = hit
+            else:
+                out[tables] = -1.0  # placeholder, overwritten below
+                misses.append(tables)
+                miss_queries.append(sub)
+        if misses:
+            values = np.maximum(batch_estimate(self.estimator, miss_queries), 0.0)
+            for tables, sub, value in zip(misses, miss_queries, values):
+                out[tables] = float(value)
+                if self.cache is not None:
+                    self.cache.insert(tag, sub, float(value))
+        return out
 
     def _index_fetched(self, node: ScanNode) -> float:
         if not node.predicates:
             return float(self.db.table(node.table).n_rows)
         single = Query((node.table,), (), (node.predicates[0],))
-        return max(self.estimator.estimate(single), 0.0)
+        return self.estimate_cardinality(single)
 
     # -- operator costs -------------------------------------------------------------
 

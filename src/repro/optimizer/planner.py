@@ -28,6 +28,7 @@ from repro.engine.plans import (
     ScanMethod,
     ScanNode,
 )
+from repro.optimizer.cardcache import CardinalityCache
 from repro.optimizer.cost import PlanCoster
 from repro.optimizer.hints import HintSet
 from repro.optimizer.statistics import DatabaseStats
@@ -110,24 +111,32 @@ def enumerate_dp(
     tables = list(query.tables)
     n = len(tables)
 
-    # Pre-compute estimated cardinalities per connected subset.
+    # Enumerate every connected subset up front and prime their estimated
+    # cardinalities in one batched call: cache hits are answered directly
+    # and the misses go through the estimator's ``estimate_batch`` as a
+    # single featurization + forward pass instead of one call per subset.
+    singles = [frozenset((t,)) for t in tables]
+    by_size: dict[int, list[frozenset[str]]] = {}
+    connected: list[frozenset[str]] = list(singles)
+    for size in range(2, n + 1):
+        sized: list[frozenset[str]] = []
+        for combo in combinations(tables, size):
+            subset = frozenset(combo)
+            if query.subquery(subset).is_connected():
+                sized.append(subset)
+        by_size[size] = sized
+        connected.extend(sized)
+    card_of = coster.subquery_cardinalities(query, connected)
+
     best: dict[frozenset[str], tuple[PlanNode, float]] = {}
-    card_of: dict[frozenset[str], float] = {}
     for t in tables:
-        key = frozenset((t,))
-        best[key] = _best_scan(query, t, coster, hints)
-        card_of[key] = coster.subquery_cardinality(query, key)
+        best[frozenset((t,))] = _best_scan(query, t, coster, hints)
 
     if n == 1:
         return Plan(query, best[frozenset(tables)][0])
 
     for size in range(2, n + 1):
-        for combo in combinations(tables, size):
-            subset = frozenset(combo)
-            sub = query.subquery(subset)
-            if not sub.is_connected():
-                continue
-            card_of[subset] = coster.subquery_cardinality(query, subset)
+        for subset in by_size[size]:
             champion: tuple[PlanNode, float] | None = None
             # All partitions into two connected, joined halves.
             members = sorted(subset)
@@ -216,6 +225,12 @@ class Optimizer:
         Pre-built statistics (ANALYZE output); built on demand otherwise.
     constants:
         Cost-model constants.
+    cache:
+        Cross-plan :class:`CardinalityCache`; a fresh one is created when
+        not given.  The cache persists across plannings (and across
+        estimator swaps via :meth:`with_estimator`), which is what makes
+        Bao's per-hint-set re-planning and Lero's factor sweep estimate
+        each sub-plan once instead of once per enumeration.
     """
 
     def __init__(
@@ -224,6 +239,7 @@ class Optimizer:
         estimator: CardinalityEstimator | None = None,
         stats: DatabaseStats | None = None,
         constants: CostConstants | None = None,
+        cache: CardinalityCache | None = None,
     ) -> None:
         self.db = db
         self.stats = stats if stats is not None else DatabaseStats.build(db)
@@ -233,11 +249,19 @@ class Optimizer:
             else TraditionalCardinalityEstimator(db, self.stats)
         )
         self.constants = constants
-        self.coster = PlanCoster(db, self.estimator, constants)
+        self.cache = cache if cache is not None else CardinalityCache()
+        self.coster = PlanCoster(db, self.estimator, constants, cache=self.cache)
 
     def with_estimator(self, estimator: CardinalityEstimator) -> "Optimizer":
-        """A new optimizer sharing stats but using a different estimator."""
-        return Optimizer(self.db, estimator, self.stats, self.constants)
+        """A new optimizer sharing stats (and the cardinality cache) but
+        using a different estimator."""
+        return Optimizer(
+            self.db, estimator, self.stats, self.constants, cache=self.cache
+        )
+
+    def cache_stats(self) -> dict[str, float]:
+        """Hit/miss/eviction counters of the shared cardinality cache."""
+        return self.cache.stats()
 
     def plan(
         self,

@@ -235,19 +235,63 @@ class Query:
     def n_tables(self) -> int:
         return len(self.tables)
 
+    # Queries are immutable, so derived views (per-table predicate lists,
+    # the join adjacency, the canonical SQL text, sub-queries) are computed
+    # once and memoized on the instance.  The planner's inner loop and the
+    # executor ask for these repeatedly -- DP enumeration alone calls
+    # ``predicates_on`` O(2^n) times per query -- which made the previous
+    # linear re-scans a measurable cost.  The memo attributes live outside
+    # the dataclass fields, so equality/hashing are unaffected.
+
     def predicates_on(self, table: str) -> tuple[Predicate, ...]:
-        return tuple(p for p in self.predicates if p.column.table == table)
+        cache = self.__dict__.get("_preds_on")
+        if cache is None:
+            cache = {t: [] for t in self.tables}
+            for p in self.predicates:
+                cache[p.column.table].append(p)
+            cache = {t: tuple(ps) for t, ps in cache.items()}
+            object.__setattr__(self, "_preds_on", cache)
+        return cache[table]
 
     def joins_on(self, table: str) -> tuple[Join, ...]:
-        return tuple(j for j in self.joins if j.involves(table))
+        cache = self.__dict__.get("_joins_on")
+        if cache is None:
+            cache = {t: [] for t in self.tables}
+            for j in self.joins:
+                cache[j.left.table].append(j)
+                cache[j.right.table].append(j)
+            cache = {t: tuple(js) for t, js in cache.items()}
+            object.__setattr__(self, "_joins_on", cache)
+        return cache[table]
+
+    def join_adjacency(self) -> dict[str, frozenset[str]]:
+        """Table -> joined-neighbor-tables adjacency of the join graph."""
+        adj = self.__dict__.get("_adjacency")
+        if adj is None:
+            sets: dict[str, set[str]] = {t: set() for t in self.tables}
+            for j in self.joins:
+                sets[j.left.table].add(j.right.table)
+                sets[j.right.table].add(j.left.table)
+            adj = {t: frozenset(s) for t, s in sets.items()}
+            object.__setattr__(self, "_adjacency", adj)
+        return adj
 
     def subquery(self, tables: Iterable[str]) -> "Query":
         """Restrict to the given tables, keeping internal joins/predicates.
 
         Used to enumerate the sub-queries the cardinality estimator is asked
-        about during plan costing.
+        about during plan costing.  Results are memoized per table set: the
+        enumerator and the coster ask for the same sub-queries many times
+        per planning (and once per hint-set arm on top of that).
         """
-        keep = set(tables)
+        keep = frozenset(tables)
+        cache = self.__dict__.get("_subqueries")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_subqueries", cache)
+        hit = cache.get(keep)
+        if hit is not None:
+            return hit
         missing = keep - set(self.tables)
         if missing:
             raise ValueError(f"subquery tables not in query: {sorted(missing)}")
@@ -257,16 +301,15 @@ class Query:
             if j.left.table in keep and j.right.table in keep
         )
         preds = tuple(p for p in self.predicates if p.column.table in keep)
-        return Query(tuple(sorted(keep)), joins, preds)
+        sub = Query(tuple(sorted(keep)), joins, preds)
+        cache[keep] = sub
+        return sub
 
     def is_connected(self) -> bool:
         """True when the join graph over the query's tables is connected."""
         if len(self.tables) == 1:
             return True
-        adj: dict[str, set[str]] = {t: set() for t in self.tables}
-        for j in self.joins:
-            adj[j.left.table].add(j.right.table)
-            adj[j.right.table].add(j.left.table)
+        adj = self.join_adjacency()
         seen = {self.tables[0]}
         frontier = [self.tables[0]]
         while frontier:
@@ -276,6 +319,21 @@ class Query:
                     seen.add(nxt)
                     frontier.append(nxt)
         return len(seen) == len(self.tables)
+
+    @property
+    def cache_key(self) -> str:
+        """Canonical sub-query identity: the memoized ``to_sql`` text.
+
+        ``__post_init__`` sorts tables, joins and predicates, so two queries
+        over the same tables with the same joins and predicates -- however
+        they were constructed -- render identically.  This is the key the
+        cross-plan :class:`repro.optimizer.CardinalityCache` indexes by.
+        """
+        key = self.__dict__.get("_cache_key")
+        if key is None:
+            key = self.to_sql()
+            object.__setattr__(self, "_cache_key", key)
+        return key
 
     def to_sql(self) -> str:
         """Render as ``SELECT COUNT(*) FROM ... WHERE ...`` text."""

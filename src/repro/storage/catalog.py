@@ -92,6 +92,11 @@ class Database:
     def table_names(self) -> list[str]:
         return list(self.tables)
 
+    @property
+    def data_version(self) -> int:
+        """Monotone counter over all table mutations (see Table.data_version)."""
+        return sum(t.data_version for t in self.tables.values())
+
     def edges_for(self, table: str) -> list[JoinEdge]:
         return [e for e in self.joins if e.involves(table)]
 

@@ -74,6 +74,9 @@ class Table:
         self.name = name
         self.columns: dict[str, Column] = {c.name: c for c in columns}
         self.n_rows = columns[0].values.shape[0]
+        # Bumped on every mutation; cardinality caches key on it so cached
+        # estimates never survive data drift.
+        self.data_version = 0
 
     def __repr__(self) -> str:
         return f"Table({self.name!r}, rows={self.n_rows}, cols={list(self.columns)})"
@@ -120,6 +123,7 @@ class Table:
             if col.is_key and np.unique(col.values).size != col.values.size:
                 raise ValueError(f"append violates key uniqueness on {name!r}")
         self.n_rows += next(iter(lengths))
+        self.data_version += 1
 
     def sample_rows(
         self, n: int, rng: np.random.Generator, column_names: list[str] | None = None
