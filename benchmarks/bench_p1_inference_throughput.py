@@ -23,7 +23,12 @@ import time
 
 import numpy as np
 
-from repro.bench import build_estimator, estimate_workload, render_table
+from repro.bench import (
+    build_estimator,
+    estimate_workload,
+    render_cache_stats,
+    render_table,
+)
 from repro.bench.suite import fit_estimator
 from repro.optimizer import HintSet, Optimizer
 from repro.sql import WorkloadGenerator
@@ -111,14 +116,12 @@ def test_p1_planner_cache_hit_rate(benchmark, stats_db):
 
     stats = benchmark.pedantic(run, rounds=1, iterations=1)
     print(
-        render_table(
-            f"P1: cardinality-cache stats, {len(queries)} queries x "
-            f"{len(arms)} Bao arms",
-            ["entries", "hits", "misses", "evictions", "hit_rate"],
-            [(
-                stats["entries"], stats["hits"], stats["misses"],
-                stats["evictions"], f"{stats['hit_rate']:.3f}",
-            )],
+        render_cache_stats(
+            stats,
+            title=(
+                f"P1: cardinality-cache stats, {len(queries)} queries x "
+                f"{len(arms)} Bao arms"
+            ),
         )
     )
     assert stats["hit_rate"] > CACHE_HIT_RATE_MIN, (

@@ -2,9 +2,21 @@
 
 Benchmarks use larger databases than the unit tests (scale 0.6-0.8) so the
 reported shapes are stable; everything stays laptop-scale.
+
+The ``sys.path`` bootstrap below makes ``python -m pytest benchmarks/...``
+work from a plain checkout, exactly like ``tests/``: without it the
+``repro`` package is only importable with ``PYTHONPATH=src`` or after
+``pip install -e .``.
 """
 
 from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
 
 import numpy as np
 import pytest

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["render_table"]
+__all__ = ["render_table", "render_cache_stats"]
 
 
 def _fmt(value) -> str:
@@ -45,3 +45,25 @@ def render_table(
     if note:
         out.append(f"note: {note}")
     return "\n".join(out)
+
+
+def render_cache_stats(
+    stats: dict, *, title: str = "cardinality cache", note: str | None = None
+) -> str:
+    """Render :meth:`repro.optimizer.cardcache.CardinalityCache.stats`.
+
+    One shared shape for every report that surfaces the planner cache's
+    hit/miss/eviction counters (P1/P2 benchmarks, serving summaries).
+    """
+    return render_table(
+        title,
+        ["entries", "hits", "misses", "evictions", "hit_rate"],
+        [(
+            int(stats["entries"]),
+            int(stats["hits"]),
+            int(stats["misses"]),
+            int(stats["evictions"]),
+            f"{stats['hit_rate']:.3f}",
+        )],
+        note=note,
+    )

@@ -9,6 +9,7 @@ transparent to the database user").
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.pilotscope.driver import Driver, DriverConfig
@@ -38,10 +39,21 @@ class _DriverSlot:
 class PilotScopeConsole:
     """Operates drivers and routes user queries."""
 
-    def __init__(self, interactor: DBInteractor) -> None:
+    def __init__(
+        self,
+        interactor: DBInteractor,
+        *,
+        max_log_entries: int | None = 10_000,
+    ) -> None:
+        """``max_log_entries`` caps :attr:`query_log` (oldest entries are
+        dropped first) so sustained traffic cannot grow memory without
+        bound; ``None`` keeps the log unbounded.  The totals below keep
+        counting past the cap."""
         self.interactor = interactor
         self._drivers: dict[str, _DriverSlot] = {}
-        self.query_log: list[QueryLogEntry] = []
+        self.query_log: deque[QueryLogEntry] = deque(maxlen=max_log_entries)
+        self.queries_served = 0
+        self.served_by_counts: dict[str, int] = {}
         self._updates_every = 0
         self._queries_since_update = 0
 
@@ -124,6 +136,10 @@ class PilotScopeConsole:
                 cardinality=outcome.cardinality,
                 latency_ms=outcome.latency_ms,
             )
+        )
+        self.queries_served += 1
+        self.served_by_counts[served_by] = (
+            self.served_by_counts.get(served_by, 0) + 1
         )
         self._queries_since_update += 1
         if self._updates_every and self._queries_since_update >= self._updates_every:

@@ -7,7 +7,10 @@ whether the learned plan is safe to run or the native plan should be kept:
   (nearly) unseen structural features, then plan clustering with
   per-cluster reliability tracking;
 - :class:`PerfGuard` [18]: a learned pairwise guard predicting whether the
-  candidate would regress against the native plan.
+  candidate would regress against the native plan;
+- :class:`GuardChain`: stacks several guards into one (applied in order,
+  feedback fanned out to all), so a deployment can run Eraser's structural
+  filter and PerfGuard's learned veto together.
 
 Both implement the guard interface of
 :class:`repro.e2e.loop.OptimizationLoop`: called as
@@ -17,7 +20,8 @@ learn which plans to distrust from the same feedback stream the optimizer
 itself consumes.
 """
 
+from repro.regression.chain import GuardChain
 from repro.regression.eraser import Eraser
 from repro.regression.perfguard import PerfGuard
 
-__all__ = ["Eraser", "PerfGuard"]
+__all__ = ["Eraser", "GuardChain", "PerfGuard"]

@@ -1,0 +1,69 @@
+"""Stacking regression guards: several vetoes, one guard interface.
+
+A deployment may want Eraser's structural filter *and* PerfGuard's learned
+pairwise veto on the same loop.  :class:`GuardChain` composes any number
+of guards into one object satisfying the
+:class:`repro.e2e.loop.OptimizationLoop` guard interface: selection runs
+the guards in the given order (each sees the previous guard's choice, so
+an early veto is final -- once a guard has swapped in the native plan,
+later guards pass it through), and feedback fans out to every member so
+each keeps learning from the full execution stream.
+"""
+
+from __future__ import annotations
+
+from repro.core.framework import CandidatePlan
+from repro.engine.plans import Plan
+from repro.sql.query import Query
+
+__all__ = ["GuardChain"]
+
+
+class GuardChain:
+    """Apply guards in order; forward feedback to all of them."""
+
+    def __init__(self, *guards) -> None:
+        if not guards:
+            raise ValueError("GuardChain needs at least one guard")
+        self.guards = tuple(guards)
+        #: per-decision application order, e.g. ["eraser:coarse"] when the
+        #: first guard intervened -- kept for tests and telemetry.
+        self.last_applied: list[str] = []
+
+    def __call__(
+        self, query: Query, candidate: CandidatePlan, native_plan: Plan
+    ) -> CandidatePlan:
+        self.last_applied = []
+        for guard in self.guards:
+            swapped = guard(query, candidate, native_plan)
+            if swapped is not candidate:
+                self.last_applied.append(swapped.source)
+            candidate = swapped
+        return candidate
+
+    def record(
+        self,
+        query: Query,
+        candidate: CandidatePlan,
+        latency_ms: float,
+        native_latency_ms: float,
+    ) -> None:
+        for guard in self.guards:
+            if hasattr(guard, "record"):
+                guard.record(query, candidate, latency_ms, native_latency_ms)
+
+    def record_native(
+        self, query: Query, native_plan: Plan, native_latency_ms: float
+    ) -> None:
+        for guard in self.guards:
+            if hasattr(guard, "record_native"):
+                guard.record_native(query, native_plan, native_latency_ms)
+
+    @property
+    def intervention_rate(self) -> float:
+        rates = [
+            g.intervention_rate
+            for g in self.guards
+            if hasattr(g, "intervention_rate")
+        ]
+        return max(rates) if rates else 0.0

@@ -1,0 +1,66 @@
+"""Online serving runtime with staged model deployment (ROADMAP: serving).
+
+The deployment half of the paper's PilotScope story: everything the rest
+of the repo builds (optimizers, estimators, guards) assumed a
+run-to-completion loop; this package serves a sustained concurrent
+workload and manages a learned optimizer's production lifecycle:
+
+- :mod:`repro.serve.runtime` -- :class:`ServingRuntime`: N concurrent
+  client sessions with admission control (timeouts, per-session queue
+  bounds, a global in-flight ceiling) and typed :class:`Rejected`
+  outcomes, deterministic given a schedule (see the module docstring for
+  how the turn gate buys byte-identical reruns);
+- :mod:`repro.serve.deployment` -- :class:`DeploymentManager`: stages a
+  learned optimizer through SHADOW -> CANARY -> LIVE with a rolling
+  regression window that demotes it to ROLLED_BACK automatically,
+  reusing :mod:`repro.regression` guards on the serving path;
+- :mod:`repro.serve.telemetry` -- :class:`TelemetryBus`: counters,
+  p50/p95/p99 histograms, per-query traces (plan source, estimator tag,
+  cardinality-cache hit/miss deltas) and lifecycle events, exported as a
+  deterministic ``snapshot()``;
+- :mod:`repro.serve.scenarios` -- canned steady-state / mid-stream-drift /
+  injected-regression setups used by ``benchmarks/bench_p2_serving.py``
+  and the tests.
+"""
+
+from repro.serve.deployment import DeploymentManager, ServeDecision, Stage
+from repro.serve.runtime import (
+    ConsoleBackend,
+    Rejected,
+    Request,
+    RunReport,
+    RuntimeConfig,
+    Served,
+    ServingRuntime,
+    build_schedule,
+)
+from repro.serve.scenarios import (
+    RegressionInjector,
+    ServingScenario,
+    drift_scenario,
+    injected_regression_scenario,
+    steady_state_scenario,
+)
+from repro.serve.telemetry import Histogram, TelemetryBus, TraceRecord
+
+__all__ = [
+    "ConsoleBackend",
+    "DeploymentManager",
+    "Histogram",
+    "Rejected",
+    "RegressionInjector",
+    "Request",
+    "RunReport",
+    "RuntimeConfig",
+    "ServeDecision",
+    "Served",
+    "ServingRuntime",
+    "ServingScenario",
+    "Stage",
+    "TelemetryBus",
+    "TraceRecord",
+    "build_schedule",
+    "drift_scenario",
+    "injected_regression_scenario",
+    "steady_state_scenario",
+]

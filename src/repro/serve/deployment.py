@@ -1,0 +1,317 @@
+"""Staged deployment of a learned optimizer: shadow -> canary -> live.
+
+Lehmann et al. and Eraser both document the same field observation: a
+learned optimizer that wins on average still regresses unpredictably on
+individual queries, so it cannot be cut over wholesale.
+:class:`DeploymentManager` therefore walks a model through the rollout
+stages production ML systems use:
+
+- ``SHADOW``: every query is planned by both sides but *served* by the
+  native optimizer; the learned candidate is executed hypothetically (on
+  the simulator, off the serving path) to measure what its speedup would
+  have been.  The staged model trains on this stream without ever touching
+  a user-visible plan.
+- ``CANARY``: a deterministic fraction of traffic -- chosen by query hash,
+  so the same query always lands on the same side -- is served by the
+  learned optimizer (behind any configured guards); the rest stays native.
+- ``LIVE``: all traffic is served learned (still guarded, still monitored
+  against the native baseline).
+- ``ROLLED_BACK``: terminal; the model has been demoted and all traffic is
+  native again.
+
+Demotion is automatic: learned-served queries feed a rolling window of
+:attr:`repro.e2e.loop.EpisodeResult.regression` ratios, and when the
+window mean breaches ``regression_threshold`` the manager rolls back and
+records the event on the telemetry bus.  Promotion is manual
+(:meth:`promote`) or automatic (``auto_promote=True``) once a full window
+stays healthy.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass
+from statistics import fmean
+
+from repro.e2e.loop import EpisodeResult
+from repro.engine.simulator import ExecutionSimulator
+from repro.optimizer.planner import Optimizer
+from repro.regression import GuardChain
+from repro.serve.telemetry import TelemetryBus
+from repro.sql.query import Query
+
+__all__ = ["Stage", "ServeDecision", "DeploymentManager", "query_hash"]
+
+
+class Stage(enum.Enum):
+    SHADOW = "shadow"
+    CANARY = "canary"
+    LIVE = "live"
+    ROLLED_BACK = "rolled_back"
+
+
+#: the transitions promote()/rollback() are allowed to make
+_PROMOTIONS = {Stage.SHADOW: Stage.CANARY, Stage.CANARY: Stage.LIVE}
+
+
+def query_hash(query: Query) -> str:
+    """Stable 12-hex-digit identity of a query's canonical text."""
+    return hashlib.sha256(query.cache_key.encode()).hexdigest()[:12]
+
+
+@dataclass(frozen=True)
+class ServeDecision:
+    """What the deployment did with one query."""
+
+    query: Query
+    stage: str
+    served_learned: bool
+    plan_source: str  # winning candidate source, or "native"
+    latency_ms: float  # latency of the plan actually served
+    cardinality: int
+    native_latency_ms: float | None  # None when the baseline was not run
+    shadow_latency_ms: float | None  # learned plan's off-path latency (SHADOW)
+
+    @property
+    def regression(self) -> float | None:
+        """Served/native latency ratio where the baseline exists (>1 is a
+        regression); in SHADOW the *hypothetical* learned regression."""
+        if self.native_latency_ms is None:
+            return None
+        observed = (
+            self.shadow_latency_ms
+            if self.shadow_latency_ms is not None
+            else self.latency_ms
+        )
+        return observed / max(self.native_latency_ms, 1e-9)
+
+
+class DeploymentManager:
+    """Serves queries while managing one staged learned optimizer.
+
+    ``learned`` exposes the :class:`repro.core.framework.LearnedOptimizer`
+    surface (``choose_plan`` / ``record_feedback``); ``guards`` are
+    regression guards stacked in order via
+    :class:`repro.regression.GuardChain` and only consulted on the serving
+    path (CANARY/LIVE) -- shadow evaluation measures the raw model.
+    """
+
+    def __init__(
+        self,
+        learned,
+        native: Optimizer,
+        simulator: ExecutionSimulator,
+        *,
+        guards=(),
+        telemetry: TelemetryBus | None = None,
+        stage: Stage = Stage.SHADOW,
+        canary_fraction: float = 0.1,
+        window: int = 30,
+        min_samples: int = 10,
+        regression_threshold: float = 1.3,
+        auto_promote: bool = False,
+        monitor_native: bool = True,
+        name: str | None = None,
+    ) -> None:
+        if not 0.0 < canary_fraction <= 1.0:
+            raise ValueError("canary_fraction must be in (0, 1]")
+        if min_samples < 1 or window < min_samples:
+            raise ValueError("need window >= min_samples >= 1")
+        self.learned = learned
+        self.native = native
+        self.simulator = simulator
+        self.guard = GuardChain(*guards) if guards else None
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
+        self.stage = stage
+        self.canary_fraction = canary_fraction
+        self.window = window
+        self.min_samples = min_samples
+        self.regression_threshold = regression_threshold
+        self.auto_promote = auto_promote
+        self.monitor_native = monitor_native
+        self.name = name or getattr(learned, "name", type(learned).__name__)
+        self.queries_served = 0
+        self._regressions: list[float] = []  # rolling, len <= window
+        if hasattr(native, "cache_stats"):
+            self.telemetry.attach_gauge("cardinality_cache", native.cache_stats)
+        for i, g in enumerate(guards):
+            if hasattr(g, "intervention_rate"):
+                self.telemetry.attach_gauge(
+                    f"guard_{i}_{type(g).__name__.lower()}",
+                    (lambda g=g: {
+                        "decisions": g.decisions,
+                        "interventions": g.interventions,
+                        "intervention_rate": g.intervention_rate,
+                    }),
+                )
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def promote(self) -> Stage:
+        """SHADOW -> CANARY -> LIVE; anything else is an error."""
+        nxt = _PROMOTIONS.get(self.stage)
+        if nxt is None:
+            raise ValueError(f"cannot promote from {self.stage.value}")
+        self._transition(nxt, reason="promote")
+        return self.stage
+
+    def rollback(self, reason: str = "manual") -> Stage:
+        if self.stage is Stage.ROLLED_BACK:
+            return self.stage
+        self._transition(Stage.ROLLED_BACK, reason=reason)
+        return self.stage
+
+    def _transition(self, to: Stage, *, reason: str) -> None:
+        self.telemetry.event(
+            "stage_transition",
+            deployment=self.name,
+            from_stage=self.stage.value,
+            to_stage=to.value,
+            reason=reason,
+            at_query=self.queries_served,
+        )
+        self.stage = to
+        self._regressions.clear()
+
+    # -- regression window ------------------------------------------------------------
+
+    def _observe_regression(self, ratio: float) -> None:
+        self._regressions.append(ratio)
+        if len(self._regressions) > self.window:
+            del self._regressions[0]
+        if len(self._regressions) < self.min_samples:
+            return
+        mean = fmean(self._regressions)
+        if mean > self.regression_threshold and self.stage in (
+            Stage.CANARY,
+            Stage.LIVE,
+        ):
+            self.telemetry.incr("deployment.auto_rollbacks")
+            self._transition(
+                Stage.ROLLED_BACK,
+                reason=f"regression_window mean={mean:.3f}"
+                f">{self.regression_threshold:g}",
+            )
+        elif (
+            self.auto_promote
+            and len(self._regressions) == self.window
+            and mean <= 1.0 + (self.regression_threshold - 1.0) / 2
+            and self.stage in _PROMOTIONS
+        ):
+            self._transition(
+                _PROMOTIONS[self.stage],
+                reason=f"auto_promote mean={mean:.3f}",
+            )
+
+    def window_mean(self) -> float | None:
+        return fmean(self._regressions) if self._regressions else None
+
+    # -- serving -----------------------------------------------------------------------
+
+    def is_canary_query(self, query: Query) -> bool:
+        """Deterministic traffic split: same query, same side, any run."""
+        bucket = int(query_hash(query), 16) % 10_000
+        return bucket < self.canary_fraction * 10_000
+
+    def _learned_serves(self, query: Query) -> bool:
+        if self.stage is Stage.LIVE:
+            return True
+        if self.stage is Stage.CANARY:
+            return self.is_canary_query(query)
+        return False
+
+    def serve(self, query: Query) -> ServeDecision:
+        """Serve one query according to the current stage."""
+        stage = self.stage  # snapshot: transitions below affect later queries
+        if self._learned_serves(query):
+            decision = self._serve_learned(query, stage)
+        else:
+            decision = self._serve_native(query, stage)
+        self.queries_served += 1
+        self._record(decision)
+        return decision
+
+    def _serve_native(self, query: Query, stage: Stage) -> ServeDecision:
+        native_plan = self.native.plan(query)
+        result = self.simulator.execute(native_plan)
+        shadow_latency = None
+        if stage is Stage.SHADOW:
+            # Off-path evaluation: plan with the raw model, execute
+            # hypothetically, feed the latency back so the model trains.
+            candidate = self.learned.choose_plan(query)
+            if candidate.plan.signature() == native_plan.signature():
+                shadow_latency = result.latency_ms
+            else:
+                shadow_latency = self.simulator.execute(candidate.plan).latency_ms
+            self.learned.record_feedback(query, candidate, shadow_latency)
+            episode = EpisodeResult(
+                query=query,
+                source=candidate.source,
+                latency_ms=shadow_latency,
+                native_latency_ms=result.latency_ms,
+            )
+            self._observe_regression(episode.regression)
+        return ServeDecision(
+            query=query,
+            stage=stage.value,
+            served_learned=False,
+            plan_source="native",
+            latency_ms=result.latency_ms,
+            cardinality=result.cardinality,
+            native_latency_ms=result.latency_ms if stage is Stage.SHADOW else None,
+            shadow_latency_ms=shadow_latency,
+        )
+
+    def _serve_learned(self, query: Query, stage: Stage) -> ServeDecision:
+        candidate = self.learned.choose_plan(query)
+        native_plan = self.native.plan(query)
+        if self.guard is not None:
+            candidate = self.guard(query, candidate, native_plan)
+        result = self.simulator.execute(candidate.plan)
+        native_latency = None
+        if self.monitor_native:
+            if candidate.plan.signature() == native_plan.signature():
+                native_latency = result.latency_ms
+            else:
+                native_latency = self.simulator.execute(native_plan).latency_ms
+        self.learned.record_feedback(query, candidate, result.latency_ms)
+        if self.guard is not None and native_latency is not None:
+            self.guard.record(query, candidate, result.latency_ms, native_latency)
+            if candidate.plan.signature() != native_plan.signature():
+                self.guard.record_native(query, native_plan, native_latency)
+        if native_latency is not None:
+            episode = EpisodeResult(
+                query=query,
+                source=candidate.source,
+                latency_ms=result.latency_ms,
+                native_latency_ms=native_latency,
+            )
+            self._observe_regression(episode.regression)
+        return ServeDecision(
+            query=query,
+            stage=stage.value,
+            served_learned=True,
+            plan_source=candidate.source,
+            latency_ms=result.latency_ms,
+            cardinality=result.cardinality,
+            native_latency_ms=native_latency,
+            shadow_latency_ms=None,
+        )
+
+    # -- telemetry ---------------------------------------------------------------------
+
+    def _record(self, decision: ServeDecision) -> None:
+        bus = self.telemetry
+        bus.incr(f"serve.stage.{decision.stage}")
+        bus.incr(
+            "serve.learned" if decision.served_learned else "serve.native"
+        )
+        bus.observe("latency_ms", decision.latency_ms)
+        if decision.served_learned:
+            bus.observe("learned_latency_ms", decision.latency_ms)
+        if decision.regression is not None:
+            bus.observe("regression_ratio", decision.regression)
+
+    def cache_stats(self) -> dict | None:
+        return self.native.cache_stats() if hasattr(self.native, "cache_stats") else None

@@ -1,0 +1,415 @@
+"""The serving runtime: N concurrent client sessions over one backend.
+
+:class:`ServingRuntime` turns the run-to-completion workbench into a
+long-lived server: a workload is partitioned into per-session request
+queues with seeded arrival times (:func:`build_schedule`), one thread per
+session drains its queue, and admission control sheds work that a real
+front-end would refuse -- requests that waited past ``timeout_ms``, that
+arrived behind a too-deep session queue, or that hit the global
+``max_in_flight`` ceiling -- each returning a typed :class:`Rejected`
+outcome instead of a result.
+
+**Determinism.** The optimizer/model stack underneath is stateful and not
+thread-safe, and learned components train on the feedback stream, so the
+order queries reach the backend changes every later decision.  The runtime
+therefore runs a *single-writer execution core*: all requests carry a
+global sequence number (schedule order: arrival time, then session id) and
+a turn gate admits exactly one session thread at a time, in that order.
+Threads give real queueing behaviour; the gate guarantees that two runs
+with the same schedule and seeds produce byte-identical telemetry
+snapshots -- the property the serving smoke test asserts.  Time inside the
+core is *virtual* (arrival offsets plus simulated latencies), so admission
+decisions are reproducible and independent of host load; wall-clock
+figures are reported separately in :class:`RunReport` and never enter the
+telemetry bus.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.pilotscope.console import PilotScopeConsole
+from repro.serve.deployment import query_hash
+from repro.serve.telemetry import TelemetryBus, TraceRecord
+from repro.sql.query import Query
+
+__all__ = [
+    "Request",
+    "Served",
+    "Rejected",
+    "RuntimeConfig",
+    "RunReport",
+    "ConsoleBackend",
+    "build_schedule",
+    "ServingRuntime",
+]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One scheduled client request."""
+
+    session_id: int
+    seq: int  # position within the session's queue
+    global_seq: int  # position in the deterministic global order
+    arrival_ms: float  # virtual arrival offset from run start
+    query: Query
+
+
+@dataclass(frozen=True)
+class Served:
+    """A request that made it through admission and was executed."""
+
+    request: Request
+    stage: str
+    plan_source: str
+    latency_ms: float
+    wait_ms: float
+    cardinality: int
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """A request shed by admission control.
+
+    ``reason`` is one of ``"timeout"`` (waited longer than the client
+    timeout before service could start), ``"queue_full"`` (the session's
+    backlog exceeded ``queue_capacity`` when its turn came) or
+    ``"overload"`` (too many sessions busy: the global in-flight ceiling).
+    """
+
+    request: Request
+    reason: str
+    wait_ms: float
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Admission-control knobs.
+
+    ``None`` disables the corresponding check.  ``max_in_flight`` counts
+    sessions whose (virtual) execution overlaps a request's start time.
+    """
+
+    timeout_ms: float | None = 2_000.0
+    queue_capacity: int | None = 16
+    max_in_flight: int | None = None
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Aggregate outcome of one :meth:`ServingRuntime.run`."""
+
+    n_requests: int
+    n_served: int
+    rejected: dict[str, int]
+    wall_seconds: float
+    simulated_span_ms: float  # virtual time from first arrival to last finish
+    outcomes: list  # Served | Rejected, sorted by (session_id, seq)
+
+    @property
+    def wall_qps(self) -> float:
+        return self.n_served / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def simulated_qps(self) -> float:
+        span_s = self.simulated_span_ms / 1_000.0
+        return self.n_served / span_s if span_s else 0.0
+
+
+def build_schedule(
+    queries: list[Query],
+    n_sessions: int,
+    *,
+    seed: int = 0,
+    mean_interarrival_ms: float = 20.0,
+) -> list[list[Request]]:
+    """Deterministic session assignment + arrival times for a workload.
+
+    Queries are dealt round-robin over ``n_sessions`` sessions; each
+    session draws exponential interarrival gaps from its own seeded
+    generator, so the whole schedule is a pure function of
+    ``(queries, n_sessions, seed, mean_interarrival_ms)``.  The returned
+    requests carry global sequence numbers ordering them by
+    ``(arrival_ms, session_id)`` -- the order the execution core uses.
+    """
+    import numpy as np
+
+    if n_sessions < 1:
+        raise ValueError("need at least one session")
+    per_session: list[list] = [[] for _ in range(n_sessions)]
+    for i, query in enumerate(queries):
+        per_session[i % n_sessions].append(query)
+    pending: list[tuple[float, int, int, Query]] = []
+    for sid, qs in enumerate(per_session):
+        rng = np.random.default_rng((seed, sid))
+        clock = 0.0
+        for seq, q in enumerate(qs):
+            clock += float(rng.exponential(mean_interarrival_ms))
+            pending.append((clock, sid, seq, q))
+    pending.sort(key=lambda t: (t[0], t[1], t[2]))
+    schedule: list[list[Request]] = [[] for _ in range(n_sessions)]
+    for g, (arrival, sid, seq, q) in enumerate(pending):
+        schedule[sid].append(
+            Request(
+                session_id=sid,
+                seq=seq,
+                global_seq=g,
+                arrival_ms=arrival,
+                query=q,
+            )
+        )
+    return schedule
+
+
+class ConsoleBackend:
+    """Adapt a :class:`PilotScopeConsole` to the runtime's backend surface.
+
+    The console's transparent driver routing becomes the serving path;
+    there is no deployment stage, so every decision reports ``live``.
+    """
+
+    def __init__(self, console: PilotScopeConsole) -> None:
+        self.console = console
+
+    def serve(self, query: Query):
+        outcome = self.console.execute(query)
+        entry = self.console.query_log[-1]
+        return _ConsoleDecision(
+            stage="live",
+            plan_source=entry.served_by,
+            latency_ms=outcome.latency_ms,
+            cardinality=outcome.cardinality,
+        )
+
+
+@dataclass(frozen=True)
+class _ConsoleDecision:
+    stage: str
+    plan_source: str
+    latency_ms: float
+    cardinality: int
+
+
+class _TurnGate:
+    """Admits threads one at a time, in global-sequence order."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._next = 0
+
+    def wait_turn(self, turn: int) -> None:
+        with self._cond:
+            while self._next != turn:
+                self._cond.wait()
+
+    def advance(self) -> None:
+        with self._cond:
+            self._next += 1
+            self._cond.notify_all()
+
+
+class ServingRuntime:
+    """Run a scheduled workload through a backend with admission control.
+
+    ``backend`` needs ``serve(query)`` returning an object with
+    ``stage``, ``plan_source``, ``latency_ms`` and ``cardinality`` --
+    satisfied by :class:`repro.serve.deployment.DeploymentManager` and by
+    :class:`ConsoleBackend`.  ``hooks`` maps a global sequence number to a
+    callable run (inside the execution core, so deterministically) just
+    before that request is processed -- the drift scenario uses this to
+    mutate the database mid-stream.
+    """
+
+    def __init__(
+        self,
+        backend,
+        *,
+        config: RuntimeConfig | None = None,
+        telemetry: TelemetryBus | None = None,
+        hooks: dict[int, Callable[[], None]] | None = None,
+    ) -> None:
+        self.backend = backend
+        self.config = config if config is not None else RuntimeConfig()
+        self.telemetry = (
+            telemetry
+            if telemetry is not None
+            else getattr(backend, "telemetry", None) or TelemetryBus()
+        )
+        self.hooks = dict(hooks) if hooks else {}
+
+    # -- the execution core (always entered in global_seq order) -----------------
+
+    def _process(
+        self,
+        req: Request,
+        arrivals: list[list[float]],
+        session_clock: list[float],
+        busy_until: list[float],
+    ):
+        config = self.config
+        start = max(session_clock[req.session_id], req.arrival_ms)
+        wait = start - req.arrival_ms
+        if config.timeout_ms is not None and wait > config.timeout_ms:
+            return Rejected(request=req, reason="timeout", wait_ms=wait)
+        # Session backlog when service could start: requests of this
+        # session that have arrived (arrival <= start) but not yet started.
+        backlog = (
+            bisect_right(arrivals[req.session_id], start) - req.seq
+        )
+        if config.queue_capacity is not None and backlog > config.queue_capacity:
+            return Rejected(request=req, reason="queue_full", wait_ms=wait)
+        if config.max_in_flight is not None:
+            in_flight = sum(
+                1
+                for sid, until in enumerate(busy_until)
+                if sid != req.session_id and until > start
+            )
+            if in_flight >= config.max_in_flight:
+                return Rejected(request=req, reason="overload", wait_ms=wait)
+        decision = self.backend.serve(req.query)
+        finish = start + decision.latency_ms
+        session_clock[req.session_id] = finish
+        busy_until[req.session_id] = finish
+        return Served(
+            request=req,
+            stage=decision.stage,
+            plan_source=decision.plan_source,
+            latency_ms=decision.latency_ms,
+            wait_ms=wait,
+            cardinality=decision.cardinality,
+        )
+
+    def _file_telemetry(self, outcome, cache_before, cache_after) -> None:
+        bus = self.telemetry
+        req = outcome.request
+        if isinstance(outcome, Served):
+            bus.incr("runtime.served")
+            bus.observe("wait_ms", outcome.wait_ms)
+            hits = misses = 0
+            if cache_before is not None and cache_after is not None:
+                hits = int(cache_after["hits"] - cache_before["hits"])
+                misses = int(cache_after["misses"] - cache_before["misses"])
+            bus.trace(
+                TraceRecord(
+                    session_id=req.session_id,
+                    seq=req.seq,
+                    query_hash=query_hash(req.query),
+                    outcome="served",
+                    stage=outcome.stage,
+                    plan_source=outcome.plan_source,
+                    estimator_tag=getattr(self.backend, "name", ""),
+                    latency_ms=outcome.latency_ms,
+                    wait_ms=outcome.wait_ms,
+                    cache_hits=hits,
+                    cache_misses=misses,
+                )
+            )
+        else:
+            bus.incr(f"runtime.rejected.{outcome.reason}")
+            bus.trace(
+                TraceRecord(
+                    session_id=req.session_id,
+                    seq=req.seq,
+                    query_hash=query_hash(req.query),
+                    outcome=outcome.reason,
+                    stage="",
+                    plan_source="",
+                    estimator_tag=getattr(self.backend, "name", ""),
+                    latency_ms=0.0,
+                    wait_ms=outcome.wait_ms,
+                )
+            )
+
+    # -- session workers -----------------------------------------------------------
+
+    def _run_session(
+        self,
+        requests: list[Request],
+        gate: _TurnGate,
+        arrivals: list[list[float]],
+        session_clock: list[float],
+        busy_until: list[float],
+        outcomes: list,
+        errors: list,
+    ) -> None:
+        cache_fn = getattr(self.backend, "cache_stats", None)
+        for req in requests:
+            gate.wait_turn(req.global_seq)
+            try:
+                # After any session failed, the remaining turns still must
+                # advance (other sessions block on them) but do no work.
+                if not errors:
+                    hook = self.hooks.get(req.global_seq)
+                    if hook is not None:
+                        hook()
+                    before = cache_fn() if cache_fn is not None else None
+                    outcome = self._process(
+                        req, arrivals, session_clock, busy_until
+                    )
+                    after = cache_fn() if cache_fn is not None else None
+                    self._file_telemetry(outcome, before, after)
+                    outcomes[req.global_seq] = outcome
+            except BaseException as exc:  # surface worker failures to run()
+                errors.append(exc)
+            finally:
+                gate.advance()
+
+    def run(self, schedule: list[list[Request]]) -> RunReport:
+        """Execute one scheduled workload; blocks until all sessions drain."""
+        n_sessions = len(schedule)
+        n_requests = sum(len(s) for s in schedule)
+        arrivals = [[r.arrival_ms for r in sess] for sess in schedule]
+        session_clock = [0.0] * n_sessions
+        busy_until = [0.0] * n_sessions
+        outcomes: list = [None] * n_requests
+        errors: list = []
+        gate = _TurnGate()
+        t0 = time.perf_counter()
+        threads = [
+            threading.Thread(
+                target=self._run_session,
+                args=(
+                    sess,
+                    gate,
+                    arrivals,
+                    session_clock,
+                    busy_until,
+                    outcomes,
+                    errors,
+                ),
+                name=f"serve-session-{sid}",
+                daemon=True,
+            )
+            for sid, sess in enumerate(schedule)
+            if sess
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - t0
+        if errors:
+            raise errors[0]
+        served = [o for o in outcomes if isinstance(o, Served)]
+        rejected: dict[str, int] = {}
+        for o in outcomes:
+            if isinstance(o, Rejected):
+                rejected[o.reason] = rejected.get(o.reason, 0) + 1
+        span = max(busy_until) if served else 0.0
+        ordered = sorted(
+            (o for o in outcomes if o is not None),
+            key=lambda o: (o.request.session_id, o.request.seq),
+        )
+        return RunReport(
+            n_requests=n_requests,
+            n_served=len(served),
+            rejected=dict(sorted(rejected.items())),
+            wall_seconds=wall,
+            simulated_span_ms=span,
+            outcomes=ordered,
+        )

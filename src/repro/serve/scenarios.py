@@ -1,0 +1,259 @@
+"""Canned serving scenarios for tests, benchmarks and examples.
+
+Each scenario assembles the full stack -- database, native optimizer,
+execution simulator, a learned (Bao-style) optimizer staged behind a
+:class:`~repro.serve.deployment.DeploymentManager`, and a scheduled
+multi-session workload -- and returns it as one :class:`ServingScenario`
+ready to :meth:`~ServingScenario.run`:
+
+- :func:`steady_state_scenario`: a healthy canary deployment under
+  sustained concurrent traffic (the throughput benchmark's subject);
+- :func:`drift_scenario`: the same deployment, but halfway through the
+  stream the database mutates (:func:`repro.bench.apply_drift`) under the
+  runtime's deterministic mid-stream hook;
+- :func:`injected_regression_scenario`: the staged model turns adversarial
+  after ``trigger_at`` decisions (it starts proposing nested-loop-only
+  plans), which must trip the deployment's rolling regression window and
+  roll the model back automatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.workloads import apply_drift
+from repro.core.framework import CandidatePlan
+from repro.e2e.bao import BaoOptimizer
+from repro.engine.simulator import ExecutionSimulator
+from repro.optimizer.hints import HintSet
+from repro.optimizer.planner import Optimizer
+from repro.serve.deployment import DeploymentManager, Stage
+from repro.serve.runtime import (
+    Request,
+    RunReport,
+    RuntimeConfig,
+    ServingRuntime,
+    build_schedule,
+)
+from repro.sql.generator import WorkloadGenerator
+from repro.sql.query import Query
+from repro.storage.catalog import Database
+from repro.storage.datasets import make_stats_lite
+
+__all__ = [
+    "RegressionInjector",
+    "ServingScenario",
+    "steady_state_scenario",
+    "drift_scenario",
+    "injected_regression_scenario",
+]
+
+
+class RegressionInjector:
+    """Wrap a learned optimizer; turn adversarial after ``trigger_at``.
+
+    Until the trigger it is transparent.  From decision ``trigger_at + 1``
+    on it proposes the native optimizer's plan under nested-loop-only
+    hints -- reliably a regression on join-heavy queries -- tagged with
+    source ``"injected"`` so traces show exactly which plans were
+    sabotaged.  Feedback keeps flowing to the wrapped model either way.
+    """
+
+    def __init__(
+        self,
+        inner,
+        optimizer: Optimizer,
+        *,
+        trigger_at: int,
+        bad_hints: HintSet | None = None,
+    ) -> None:
+        self.inner = inner
+        self.optimizer = optimizer
+        self.trigger_at = trigger_at
+        self.bad_hints = (
+            bad_hints
+            if bad_hints is not None
+            else HintSet(enable_hash_join=False, enable_merge_join=False)
+        )
+        self.decisions = 0
+        self.name = f"{getattr(inner, 'name', 'learned')}+injected"
+
+    def choose_plan(self, query: Query) -> CandidatePlan:
+        self.decisions += 1
+        if self.decisions > self.trigger_at:
+            plan = self.optimizer.plan(query, hints=self.bad_hints)
+            return CandidatePlan(plan=plan, source="injected")
+        return self.inner.choose_plan(query)
+
+    def record_feedback(
+        self, query: Query, candidate: CandidatePlan, latency_ms: float
+    ) -> None:
+        self.inner.record_feedback(query, candidate, latency_ms)
+
+
+@dataclass
+class ServingScenario:
+    """A fully-assembled serving setup: run it, inspect the pieces."""
+
+    name: str
+    db: Database
+    native: Optimizer
+    simulator: ExecutionSimulator
+    deployment: DeploymentManager
+    runtime: ServingRuntime
+    schedule: list[list[Request]]
+
+    def run(self) -> RunReport:
+        return self.runtime.run(self.schedule)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(len(s) for s in self.schedule)
+
+
+def _assemble(
+    *,
+    name: str,
+    scale: float,
+    seed: int,
+    n_queries: int,
+    n_sessions: int,
+    stage: Stage,
+    canary_fraction: float,
+    regression_threshold: float,
+    window: int,
+    min_samples: int,
+    config: RuntimeConfig | None,
+    learned_wrap=None,
+    hooks: dict | None = None,
+) -> ServingScenario:
+    db = make_stats_lite(scale=scale, seed=seed)
+    native = Optimizer(db)
+    simulator = ExecutionSimulator(db)
+    learned = BaoOptimizer(native, seed=seed)
+    if learned_wrap is not None:
+        learned = learned_wrap(learned, native)
+    deployment = DeploymentManager(
+        learned,
+        native,
+        simulator,
+        stage=stage,
+        canary_fraction=canary_fraction,
+        regression_threshold=regression_threshold,
+        window=window,
+        min_samples=min_samples,
+    )
+    queries = WorkloadGenerator(db, seed=seed + 1).workload(
+        n_queries, 2, 4, require_predicate=True
+    )
+    schedule = build_schedule(queries, n_sessions, seed=seed)
+    runtime = ServingRuntime(deployment, config=config, hooks=hooks)
+    return ServingScenario(
+        name=name,
+        db=db,
+        native=native,
+        simulator=simulator,
+        deployment=deployment,
+        runtime=runtime,
+        schedule=schedule,
+    )
+
+
+def steady_state_scenario(
+    *,
+    scale: float = 0.3,
+    seed: int = 0,
+    n_queries: int = 160,
+    n_sessions: int = 8,
+    stage: Stage = Stage.CANARY,
+    canary_fraction: float = 0.5,
+    config: RuntimeConfig | None = None,
+) -> ServingScenario:
+    """Healthy canary under sustained concurrent traffic."""
+    return _assemble(
+        name="steady_state",
+        scale=scale,
+        seed=seed,
+        n_queries=n_queries,
+        n_sessions=n_sessions,
+        stage=stage,
+        canary_fraction=canary_fraction,
+        regression_threshold=2.5,
+        window=40,
+        min_samples=15,
+        config=config,
+    )
+
+
+def drift_scenario(
+    *,
+    scale: float = 0.3,
+    seed: int = 0,
+    n_queries: int = 120,
+    n_sessions: int = 8,
+    drift_fraction: float = 0.3,
+    config: RuntimeConfig | None = None,
+) -> ServingScenario:
+    """Canary serving while the data distribution shifts mid-stream.
+
+    At the workload's halfway request the hook appends
+    distribution-shifted rows to every table and drops the planner's
+    cardinality cache (its entries are keyed by estimator state, which the
+    native statistics refresh changes) -- so the second half of the stream
+    runs against genuinely different data.
+    """
+    scenario = _assemble(
+        name="drift_midstream",
+        scale=scale,
+        seed=seed,
+        n_queries=n_queries,
+        n_sessions=n_sessions,
+        stage=Stage.CANARY,
+        canary_fraction=0.5,
+        regression_threshold=2.5,
+        window=40,
+        min_samples=15,
+        config=config,
+    )
+
+    def _drift() -> None:
+        apply_drift(scenario.db, fraction=drift_fraction, seed=seed)
+        estimator = scenario.native.estimator
+        if hasattr(estimator, "refresh"):
+            estimator.refresh()
+        if hasattr(scenario.native, "cache") and scenario.native.cache is not None:
+            scenario.native.cache.clear()
+
+    scenario.runtime.hooks[scenario.n_requests // 2] = _drift
+    return scenario
+
+
+def injected_regression_scenario(
+    *,
+    scale: float = 0.3,
+    seed: int = 0,
+    n_queries: int = 120,
+    n_sessions: int = 8,
+    trigger_at: int = 20,
+    window: int = 16,
+    min_samples: int = 8,
+    regression_threshold: float = 1.3,
+    config: RuntimeConfig | None = None,
+) -> ServingScenario:
+    """A canary that goes bad and must be rolled back automatically."""
+    return _assemble(
+        name="injected_regression",
+        scale=scale,
+        seed=seed,
+        n_queries=n_queries,
+        n_sessions=n_sessions,
+        stage=Stage.CANARY,
+        canary_fraction=1.0,
+        regression_threshold=regression_threshold,
+        window=window,
+        min_samples=min_samples,
+        config=config,
+        learned_wrap=lambda learned, native: RegressionInjector(
+            learned, native, trigger_at=trigger_at
+        ),
+    )

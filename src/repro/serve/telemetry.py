@@ -1,0 +1,200 @@
+"""Telemetry bus for the serving runtime.
+
+Counters, latency histograms (p50/p95/p99) and per-query trace records,
+collected while requests are in flight and exported as one deterministic
+``snapshot()`` dict.  Determinism is load-bearing: the serving smoke test
+asserts that two same-seed runs with 8 concurrent sessions produce
+byte-identical snapshots, so nothing wall-clock (timestamps, rates) may
+enter the bus -- the runtime reports those separately -- and the snapshot
+orders everything canonically (counters by name, traces by
+``(session_id, seq)``).
+
+External stat sources (the optimizer's :class:`~repro.optimizer.cardcache.
+CardinalityCache`, guard intervention counters) attach as gauges: zero-arg
+callables sampled at snapshot time, which is how cache hit/miss/eviction
+counters reach serving reports without the bus holding references into the
+planner.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Histogram", "TraceRecord", "TelemetryBus"]
+
+
+class Histogram:
+    """Exact-percentile histogram over recorded values.
+
+    Values are kept (bounded by ``capacity``) and percentiles computed from
+    the sorted sample at summary time -- exact for serving-scale runs, and
+    deterministic regardless of recording order.  Past ``capacity`` the
+    sample is decimated by keeping every other value (again deterministic:
+    depends only on the multiset of values recorded so far, not on wall
+    clock), while ``count``/``total`` keep describing the full stream.
+    """
+
+    def __init__(self, capacity: int = 65_536) -> None:
+        if capacity < 2:
+            raise ValueError("histogram capacity must be >= 2")
+        self.capacity = capacity
+        self._values: list[float] = []
+        self.count = 0
+        self.total = 0.0
+        self._max = float("-inf")
+
+    def record(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value > self._max:
+            self._max = value
+        self._values.append(value)
+        if len(self._values) > self.capacity:
+            self._values.sort()
+            self._values = self._values[::2]
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile of the retained sample (0 when empty)."""
+        if not self._values:
+            return 0.0
+        ordered = sorted(self._values)
+        rank = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.total / self.count if self.count else 0.0,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self._max if self.count else 0.0,
+        }
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One served (or shed) request, as the telemetry bus remembers it.
+
+    ``session_id``/``seq`` form the deterministic identity the snapshot
+    sorts by; ``cache_hits``/``cache_misses`` are the per-query deltas of
+    the planner's cardinality cache counters around this request.
+    """
+
+    session_id: int
+    seq: int
+    query_hash: str
+    outcome: str  # "served" | "timeout" | "overload" | "queue_full"
+    stage: str  # deployment stage at serve time ("" for rejections)
+    plan_source: str  # winning candidate source or "native"
+    estimator_tag: str
+    latency_ms: float
+    wait_ms: float
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+
+class TelemetryBus:
+    """Thread-safe counters + histograms + traces + deployment events."""
+
+    def __init__(self, trace_capacity: int = 100_000) -> None:
+        if trace_capacity < 1:
+            raise ValueError("trace capacity must be >= 1")
+        self.trace_capacity = trace_capacity
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._hists: dict[str, Histogram] = {}
+        self._traces: list[TraceRecord] = []
+        self._traces_dropped = 0
+        self._events: list[dict] = []
+        self._gauges: dict[str, Callable[[], dict]] = {}
+
+    # -- recording ---------------------------------------------------------------
+
+    def incr(self, name: str, by: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + by
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = self._hists[name] = Histogram()
+            hist.record(value)
+
+    def trace(self, record: TraceRecord) -> None:
+        with self._lock:
+            if len(self._traces) >= self.trace_capacity:
+                self._traces_dropped += 1
+            else:
+                self._traces.append(record)
+
+    def event(self, kind: str, **fields) -> None:
+        """Record a deployment-lifecycle event (promotion, rollback, ...)."""
+        with self._lock:
+            self._events.append({"kind": kind, **fields})
+
+    def attach_gauge(self, name: str, stats_fn: Callable[[], dict]) -> None:
+        """Register an external stats source sampled at snapshot time."""
+        with self._lock:
+            self._gauges[name] = stats_fn
+
+    # -- export ------------------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[dict]:
+        with self._lock:
+            return [e for e in self._events if kind is None or e["kind"] == kind]
+
+    def snapshot(self) -> dict:
+        """Deterministic state dump: counters, histogram summaries, gauges,
+        lifecycle events in occurrence order and traces sorted by identity."""
+        with self._lock:
+            traces = sorted(self._traces, key=lambda t: (t.session_id, t.seq))
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "histograms": {
+                    name: self._hists[name].summary()
+                    for name in sorted(self._hists)
+                },
+                "gauges": {
+                    name: dict(self._gauges[name]())
+                    for name in sorted(self._gauges)
+                },
+                "events": [dict(e) for e in self._events],
+                "traces": [vars(t).copy() for t in traces],
+                "traces_dropped": self._traces_dropped,
+            }
+
+    def to_json(self, *, include_traces: bool = True) -> str:
+        snap = self.snapshot()
+        if not include_traces:
+            snap.pop("traces")
+        return json.dumps(snap, sort_keys=True, separators=(",", ":"))
+
+    def render_text(self) -> str:
+        """Human-oriented summary (counters, histograms, events)."""
+        snap = self.snapshot()
+        lines = ["-- telemetry --"]
+        for name, value in snap["counters"].items():
+            lines.append(f"{name}: {value:g}")
+        for name, summ in snap["histograms"].items():
+            lines.append(
+                f"{name}: n={summ['count']} mean={summ['mean']:.2f} "
+                f"p50={summ['p50']:.2f} p95={summ['p95']:.2f} "
+                f"p99={summ['p99']:.2f} max={summ['max']:.2f}"
+            )
+        for gname, stats in snap["gauges"].items():
+            pairs = " ".join(f"{k}={v:g}" for k, v in sorted(stats.items()))
+            lines.append(f"{gname}: {pairs}")
+        for event in snap["events"]:
+            fields = " ".join(
+                f"{k}={v}" for k, v in event.items() if k != "kind"
+            )
+            lines.append(f"event[{event['kind']}]: {fields}")
+        if snap["traces_dropped"]:
+            lines.append(f"traces dropped: {snap['traces_dropped']}")
+        return "\n".join(lines)

@@ -6,6 +6,15 @@ these shared objects (drift tests build their own databases).
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Make `python -m pytest` work from a plain checkout (no PYTHONPATH=src,
+# no editable install) -- benchmarks/conftest.py does the same.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
 import numpy as np
 import pytest
 

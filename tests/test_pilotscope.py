@@ -210,3 +210,27 @@ class TestSteeringDrivers:
     def test_lero_driver_factor_validation(self):
         with pytest.raises(ValueError):
             LeroDriver(factors=(2.0, 1.0))
+
+
+class TestBoundedQueryLog:
+    def test_log_capped_counters_keep_counting(self, pg, workload):
+        console = PilotScopeConsole(pg, max_log_entries=5)
+        for q in (workload * 3)[:12]:
+            console.execute(q)
+        assert len(console.query_log) == 5  # capped
+        assert console.queries_served == 12  # totals survive the cap
+        assert sum(console.served_by_counts.values()) == 12
+        assert console.served_by_counts["native"] == 12
+
+    def test_log_keeps_most_recent_entries(self, pg, workload):
+        console = PilotScopeConsole(pg, max_log_entries=3)
+        for q in workload[:5]:
+            console.execute(q)
+        logged = [e.sql for e in console.query_log]
+        assert logged == [q.to_sql() for q in workload[2:5]]
+
+    def test_unbounded_when_disabled(self, pg, workload):
+        console = PilotScopeConsole(pg, max_log_entries=None)
+        for q in (workload * 4)[:20]:
+            console.execute(q)
+        assert len(console.query_log) == 20

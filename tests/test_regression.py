@@ -6,7 +6,7 @@ import pytest
 from repro.core.framework import CandidatePlan
 from repro.costmodel import PlanFeaturizer
 from repro.e2e import BaoOptimizer, OptimizationLoop
-from repro.regression import Eraser, PerfGuard
+from repro.regression import Eraser, GuardChain, PerfGuard
 from repro.regression.eraser import _plan_features
 from repro.sql import WorkloadGenerator
 
@@ -164,3 +164,89 @@ class TestPerfGuard:
         # PerfGuard's contract: (almost) no regressions, possibly at the
         # cost of most of the improvement.
         assert s["worst_regression"] < 2.0
+
+
+class _SpyGuard:
+    """Stub guard: records what it saw, optionally swaps in native."""
+
+    def __init__(self, tag, swap=False):
+        self.tag = tag
+        self.swap = swap
+        self.seen_sources = []
+        self.recorded = []
+
+    def __call__(self, query, candidate, native_plan):
+        self.seen_sources.append(candidate.source)
+        if self.swap and candidate.plan.signature() != native_plan.signature():
+            return CandidatePlan(plan=native_plan, source=self.tag)
+        return candidate
+
+    def record(self, query, candidate, latency_ms, native_latency_ms):
+        self.recorded.append(candidate.source)
+
+
+class TestGuardChain:
+    def test_requires_guards(self):
+        with pytest.raises(ValueError):
+            GuardChain()
+
+    def test_order_respected(self, imdb_optimizer, workload):
+        # The second guard must see the *first* guard's output: after g1
+        # swaps in the native plan, g2 observes source "g1", not "arm".
+        q, native, risky = _first_divergent(imdb_optimizer, workload)
+        g1, g2 = _SpyGuard("g1", swap=True), _SpyGuard("g2")
+        chain = GuardChain(g1, g2)
+        out = chain(q, CandidatePlan(risky, "arm"), native)
+        assert g1.seen_sources == ["arm"]
+        assert g2.seen_sources == ["g1"]
+        assert out.source == "g1"
+        assert chain.last_applied == ["g1"]
+
+    def test_feedback_fans_out(self, imdb_optimizer, workload):
+        q = workload[0]
+        native = imdb_optimizer.plan(q)
+        g1, g2 = _SpyGuard("g1"), _SpyGuard("g2")
+        chain = GuardChain(g1, g2)
+        chain.record(q, CandidatePlan(native, "default"), 1.0, 1.0)
+        assert g1.recorded == ["default"]
+        assert g2.recorded == ["default"]
+
+    def test_eraser_and_perfguard_stacked_on_loop(
+        self, featurizer, imdb_optimizer, imdb_simulator, workload
+    ):
+        # Eraser and PerfGuard on the same OptimizationLoop: both see every
+        # decision (order: Eraser first), both learn from the shared
+        # feedback stream, and an Eraser-guarded regression actually runs
+        # the native plan.
+        from repro.optimizer import HintSet
+
+        class RiskyChooser:
+            def choose_plan(self, query):
+                plan = imdb_optimizer.plan(
+                    query,
+                    hints=HintSet(
+                        enable_hash_join=False, enable_merge_join=False
+                    ),
+                )
+                return CandidatePlan(plan, "risky")
+
+            def record_feedback(self, query, candidate, latency_ms):
+                pass
+
+        eraser = Eraser(featurizer, min_feature_count=2)
+        perfguard = PerfGuard(featurizer, confidence=0.45)
+        chain = GuardChain(eraser, perfguard)
+        loop = OptimizationLoop(
+            RiskyChooser(), imdb_simulator, imdb_optimizer, guard=chain
+        )
+        results = loop.run(workload[:60])
+        # Both guards were consulted for every query, in chain order.
+        assert eraser.decisions == perfguard.decisions == len(results)
+        guarded = [r for r in results if r.source.startswith("eraser")]
+        assert guarded, "Eraser never intervened on the risky chooser"
+        for r in guarded:
+            # The fallback genuinely served the native plan.
+            assert r.latency_ms == pytest.approx(r.native_latency_ms)
+        # Feedback fan-out reached both members.
+        assert eraser._feature_counts
+        assert len(perfguard.comparator._by_query) > 0

@@ -1,0 +1,459 @@
+"""Tests for repro.serve: telemetry, deployment lifecycle, runtime."""
+
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.core.framework import CandidatePlan
+from repro.e2e import BaoOptimizer
+from repro.serve import (
+    ConsoleBackend,
+    DeploymentManager,
+    Histogram,
+    Rejected,
+    RuntimeConfig,
+    Served,
+    ServingRuntime,
+    Stage,
+    TelemetryBus,
+    build_schedule,
+    injected_regression_scenario,
+    steady_state_scenario,
+)
+from repro.serve.deployment import query_hash
+
+
+# -- telemetry --------------------------------------------------------------------
+
+
+class TestHistogram:
+    def test_percentiles_and_summary(self):
+        h = Histogram()
+        for v in range(1, 101):
+            h.record(float(v))
+        s = h.summary()
+        assert s["count"] == 100
+        assert s["p50"] == pytest.approx(50, abs=1)
+        assert s["p99"] == pytest.approx(99, abs=1)
+        assert s["max"] == 100
+        assert s["mean"] == pytest.approx(50.5)
+
+    def test_decimation_keeps_stream_totals(self):
+        h = Histogram(capacity=64)
+        for v in range(200):
+            h.record(float(v))
+        s = h.summary()
+        assert s["count"] == 200  # stream totals survive decimation
+        assert s["max"] == 199
+        assert len(h._values) <= 64
+
+    def test_empty(self):
+        assert Histogram().summary()["p99"] == 0.0
+
+
+class TestTelemetryBus:
+    def test_counters_histograms_events(self):
+        bus = TelemetryBus()
+        bus.incr("a")
+        bus.incr("a", 2)
+        bus.observe("lat", 5.0)
+        bus.event("rollback", reason="test")
+        snap = bus.snapshot()
+        assert snap["counters"]["a"] == 3
+        assert snap["histograms"]["lat"]["count"] == 1
+        assert snap["events"] == [{"kind": "rollback", "reason": "test"}]
+        assert bus.events("rollback")
+
+    def test_snapshot_is_json_and_sorted(self):
+        bus = TelemetryBus()
+        bus.incr("z")
+        bus.incr("a")
+        text = bus.to_json()
+        snap = json.loads(text)
+        assert list(snap["counters"]) == ["a", "z"]
+
+    def test_trace_capacity(self):
+        from repro.serve import TraceRecord
+
+        bus = TelemetryBus(trace_capacity=2)
+        for i in range(4):
+            bus.trace(
+                TraceRecord(
+                    session_id=0,
+                    seq=i,
+                    query_hash="x",
+                    outcome="served",
+                    stage="live",
+                    plan_source="native",
+                    estimator_tag="t",
+                    latency_ms=1.0,
+                    wait_ms=0.0,
+                )
+            )
+        snap = bus.snapshot()
+        assert len(snap["traces"]) == 2
+        assert snap["traces_dropped"] == 2
+
+    def test_gauges_sampled_at_snapshot(self):
+        bus = TelemetryBus()
+        state = {"hits": 0}
+        bus.attach_gauge("cache", lambda: dict(state))
+        state["hits"] = 7
+        assert bus.snapshot()["gauges"]["cache"]["hits"] == 7
+
+    def test_render_text_mentions_everything(self):
+        bus = TelemetryBus()
+        bus.incr("served")
+        bus.observe("lat", 2.0)
+        bus.event("promote", to="live")
+        text = bus.render_text()
+        assert "served" in text and "lat" in text and "promote" in text
+
+
+# -- deployment lifecycle ----------------------------------------------------------
+
+
+@pytest.fixture()
+def deployment(stats_db, stats_optimizer, stats_simulator):
+    learned = BaoOptimizer(stats_optimizer, seed=0)
+    return DeploymentManager(
+        learned,
+        stats_optimizer,
+        stats_simulator,
+        stage=Stage.SHADOW,
+        canary_fraction=0.5,
+        window=10,
+        min_samples=4,
+        regression_threshold=1.3,
+    )
+
+
+class TestDeploymentLifecycle:
+    def test_promote_path_and_invalid_transitions(self, deployment):
+        assert deployment.stage is Stage.SHADOW
+        assert deployment.promote() is Stage.CANARY
+        assert deployment.promote() is Stage.LIVE
+        with pytest.raises(ValueError):
+            deployment.promote()
+        assert deployment.rollback("done") is Stage.ROLLED_BACK
+        with pytest.raises(ValueError):
+            deployment.promote()
+        # Rolling back again is a no-op, not an error.
+        assert deployment.rollback() is Stage.ROLLED_BACK
+        events = deployment.telemetry.events("stage_transition")
+        assert [e["to_stage"] for e in events] == [
+            "canary",
+            "live",
+            "rolled_back",
+        ]
+
+    def test_shadow_never_affects_served_plans(
+        self, deployment, stats_optimizer, stats_simulator, stats_workload
+    ):
+        # Every shadow decision serves the native plan at the native
+        # latency, while the staged model still trains on the stream.
+        for q in stats_workload[:20]:
+            decision = deployment.serve(q)
+            assert decision.stage == "shadow"
+            assert not decision.served_learned
+            assert decision.plan_source == "native"
+            native_latency = stats_simulator.execute(
+                stats_optimizer.plan(q)
+            ).latency_ms
+            assert decision.latency_ms == pytest.approx(native_latency)
+            assert decision.shadow_latency_ms is not None
+        assert len(deployment.learned.history) == 20
+
+    def test_canary_split_is_deterministic_by_query_hash(
+        self, deployment, stats_workload
+    ):
+        deployment.promote()
+        sides = [deployment.is_canary_query(q) for q in stats_workload]
+        assert sides == [deployment.is_canary_query(q) for q in stats_workload]
+        assert any(sides) and not all(sides)  # 0.5 fraction splits both ways
+
+    def test_canary_native_side_untouched(self, deployment, stats_workload):
+        deployment.promote()
+        native_side = [
+            q for q in stats_workload if not deployment.is_canary_query(q)
+        ]
+        decision = deployment.serve(native_side[0])
+        assert not decision.served_learned
+        assert decision.plan_source == "native"
+        assert decision.native_latency_ms is None  # no baseline re-run
+
+    def test_guard_on_serving_path(
+        self, stats_db, stats_optimizer, stats_simulator, stats_workload
+    ):
+        class VetoAll:
+            decisions = 0
+            interventions = 0
+
+            def __call__(self, query, candidate, native_plan):
+                VetoAll.decisions += 1
+                if candidate.plan.signature() != native_plan.signature():
+                    VetoAll.interventions += 1
+                    return CandidatePlan(plan=native_plan, source="veto")
+                return candidate
+
+            @property
+            def intervention_rate(self):
+                return 0.0
+
+        manager = DeploymentManager(
+            BaoOptimizer(stats_optimizer, seed=0),
+            stats_optimizer,
+            stats_simulator,
+            guards=(VetoAll(),),
+            stage=Stage.LIVE,
+            window=30,
+            min_samples=30,
+        )
+        for q in stats_workload[:15]:
+            decision = manager.serve(q)
+            assert decision.served_learned
+            # The guard pinned serving to the native plan, so there is
+            # never a regression against the baseline.
+            assert decision.regression == pytest.approx(1.0)
+        assert VetoAll.decisions == 15
+
+    def test_injected_regression_rolls_back_with_event(self):
+        scenario = injected_regression_scenario(
+            n_queries=80, n_sessions=8, trigger_at=10
+        )
+        scenario.run()
+        assert scenario.deployment.stage is Stage.ROLLED_BACK
+        snap = scenario.deployment.telemetry.snapshot()
+        rollbacks = [
+            e
+            for e in snap["events"]
+            if e["kind"] == "stage_transition"
+            and e["to_stage"] == "rolled_back"
+        ]
+        assert len(rollbacks) == 1
+        assert "regression_window" in rollbacks[0]["reason"]
+        assert snap["counters"]["deployment.auto_rollbacks"] == 1
+        # After rollback everything is served native again.
+        post = [
+            t
+            for t in snap["traces"]
+            if t["outcome"] == "served" and t["stage"] == "rolled_back"
+        ]
+        assert post and all(t["plan_source"] == "native" for t in post)
+
+    def test_auto_promote_on_healthy_window(
+        self, stats_optimizer, stats_simulator, stats_workload
+    ):
+        class MirrorNative:
+            """A 'learned' model that always proposes the native plan."""
+
+            name = "mirror"
+
+            def choose_plan(self, query):
+                return CandidatePlan(stats_optimizer.plan(query), "mirror")
+
+            def record_feedback(self, query, candidate, latency_ms):
+                pass
+
+        manager = DeploymentManager(
+            MirrorNative(),
+            stats_optimizer,
+            stats_simulator,
+            stage=Stage.SHADOW,
+            window=6,
+            min_samples=3,
+            auto_promote=True,
+        )
+        for q in stats_workload[:12]:
+            manager.serve(q)
+        assert manager.stage in (Stage.CANARY, Stage.LIVE)
+
+
+# -- runtime ----------------------------------------------------------------------
+
+
+@dataclass
+class _FixedDecision:
+    stage: str
+    plan_source: str
+    latency_ms: float
+    cardinality: int
+
+
+class FixedBackend:
+    """Constant-latency backend for admission-control unit tests."""
+
+    name = "fixed"
+
+    def __init__(self, latency_ms: float) -> None:
+        self.latency_ms = latency_ms
+        self.served = 0
+
+    def serve(self, query):
+        self.served += 1
+        return _FixedDecision("live", "native", self.latency_ms, 1)
+
+
+class TestBuildSchedule:
+    def test_deterministic_and_round_robin(self, stats_workload):
+        a = build_schedule(stats_workload, 4, seed=1)
+        b = build_schedule(stats_workload, 4, seed=1)
+        assert a == b
+        assert sum(len(s) for s in a) == len(stats_workload)
+        # Round-robin assignment: session i gets queries i, i+4, ...
+        assert a[1][0].query == stats_workload[1]
+        # Global sequence is a permutation ordered by arrival time.
+        flat = sorted(
+            (r for sess in a for r in sess), key=lambda r: r.global_seq
+        )
+        arrivals = [r.arrival_ms for r in flat]
+        assert arrivals == sorted(arrivals)
+        assert [r.global_seq for r in flat] == list(range(len(flat)))
+
+    def test_seed_changes_schedule(self, stats_workload):
+        assert build_schedule(stats_workload, 4, seed=1) != build_schedule(
+            stats_workload, 4, seed=2
+        )
+
+
+class TestServingRuntime:
+    def test_all_served_when_unconstrained(self, stats_workload):
+        backend = FixedBackend(latency_ms=5.0)
+        runtime = ServingRuntime(
+            backend, config=RuntimeConfig(timeout_ms=None, queue_capacity=None)
+        )
+        schedule = build_schedule(stats_workload, 8, seed=0)
+        report = runtime.run(schedule)
+        assert report.n_served == report.n_requests == len(stats_workload)
+        assert report.rejected == {}
+        assert backend.served == len(stats_workload)
+        assert report.simulated_qps > 0 and report.wall_qps > 0
+        # Outcomes come back sorted by (session, seq).
+        keys = [
+            (o.request.session_id, o.request.seq) for o in report.outcomes
+        ]
+        assert keys == sorted(keys)
+
+    def test_timeout_shedding_is_typed_and_deterministic(self, stats_workload):
+        # 200 ms of service per request against ~2 ms interarrival: queues
+        # explode, so almost everything past the first request per session
+        # times out -- identically on every run.
+        def run_once():
+            backend = FixedBackend(latency_ms=200.0)
+            runtime = ServingRuntime(
+                backend,
+                config=RuntimeConfig(timeout_ms=50.0, queue_capacity=None),
+            )
+            schedule = build_schedule(
+                stats_workload, 2, seed=0, mean_interarrival_ms=2.0
+            )
+            return runtime.run(schedule)
+
+        first, second = run_once(), run_once()
+        assert first.rejected.get("timeout", 0) > 0
+        assert first.rejected == second.rejected
+        shed = [o for o in first.outcomes if isinstance(o, Rejected)]
+        assert all(o.reason == "timeout" for o in shed)
+        assert all(o.wait_ms > 50.0 for o in shed)
+
+    def test_queue_capacity_shedding(self, stats_workload):
+        backend = FixedBackend(latency_ms=100.0)
+        runtime = ServingRuntime(
+            backend,
+            config=RuntimeConfig(timeout_ms=None, queue_capacity=2),
+        )
+        schedule = build_schedule(
+            stats_workload, 2, seed=0, mean_interarrival_ms=2.0
+        )
+        report = runtime.run(schedule)
+        assert report.rejected.get("queue_full", 0) > 0
+        assert report.n_served + sum(report.rejected.values()) == report.n_requests
+
+    def test_max_in_flight_shedding(self, stats_workload):
+        backend = FixedBackend(latency_ms=50.0)
+        runtime = ServingRuntime(
+            backend,
+            config=RuntimeConfig(
+                timeout_ms=None, queue_capacity=None, max_in_flight=1
+            ),
+        )
+        schedule = build_schedule(
+            stats_workload, 4, seed=0, mean_interarrival_ms=2.0
+        )
+        report = runtime.run(schedule)
+        assert report.rejected.get("overload", 0) > 0
+
+    def test_rejections_reach_telemetry(self, stats_workload):
+        backend = FixedBackend(latency_ms=200.0)
+        runtime = ServingRuntime(
+            backend, config=RuntimeConfig(timeout_ms=50.0)
+        )
+        schedule = build_schedule(
+            stats_workload, 2, seed=0, mean_interarrival_ms=2.0
+        )
+        report = runtime.run(schedule)
+        snap = runtime.telemetry.snapshot()
+        assert snap["counters"]["runtime.rejected.timeout"] == report.rejected[
+            "timeout"
+        ]
+        assert any(t["outcome"] == "timeout" for t in snap["traces"])
+
+    def test_backend_errors_propagate(self, stats_workload):
+        class Exploding:
+            def serve(self, query):
+                raise RuntimeError("boom")
+
+        runtime = ServingRuntime(
+            Exploding(), config=RuntimeConfig(timeout_ms=None)
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            runtime.run(build_schedule(stats_workload[:4], 2, seed=0))
+
+    def test_hooks_run_at_global_seq(self, stats_workload):
+        backend = FixedBackend(latency_ms=1.0)
+        seen = []
+        runtime = ServingRuntime(
+            backend,
+            config=RuntimeConfig(timeout_ms=None, queue_capacity=None),
+            hooks={5: lambda: seen.append(backend.served)},
+        )
+        runtime.run(build_schedule(stats_workload[:10], 4, seed=0))
+        assert seen == [5]  # exactly 5 requests served before the hook
+
+    def test_console_backend(self, stats_db):
+        from repro.pilotscope import PilotScopeConsole, SimulatedPostgreSQL
+        from repro.sql import WorkloadGenerator
+
+        console = PilotScopeConsole(SimulatedPostgreSQL(stats_db))
+        runtime = ServingRuntime(
+            ConsoleBackend(console),
+            config=RuntimeConfig(timeout_ms=None, queue_capacity=None),
+        )
+        queries = WorkloadGenerator(stats_db, seed=2).workload(
+            12, 1, 3, require_predicate=True
+        )
+        report = runtime.run(build_schedule(queries, 3, seed=0))
+        assert report.n_served == 12
+        assert console.queries_served == 12
+        served = [o for o in report.outcomes if isinstance(o, Served)]
+        assert all(o.plan_source == "native" for o in served)
+
+
+class TestAcceptanceDeterminism:
+    def test_byte_identical_snapshots_8_sessions(self):
+        """Same seed + same config => byte-identical snapshot(), twice."""
+
+        def run_once():
+            scenario = steady_state_scenario(n_queries=64, n_sessions=8, seed=7)
+            scenario.run()
+            return scenario.deployment.telemetry.to_json()
+
+        assert run_once() == run_once()
+
+
+class TestQueryHash:
+    def test_stable_across_equal_queries(self, stats_workload):
+        q = stats_workload[0]
+        assert query_hash(q) == query_hash(q)
+        assert len(query_hash(q)) == 12
