@@ -1,0 +1,164 @@
+"""P3: the serving stack under deterministic fault injection.
+
+Three resilience properties are measured and gated:
+
+1. **Availability under chaos**: a canary deployment planning through a
+   faulty estimator (crashes, NaN/Inf, garbage magnitudes, stale
+   statistics) with a crashing/stalling learned optimizer must still
+   drain its whole schedule -- every query answered, zero unhandled
+   exceptions -- because each failure is absorbed by a rung of the
+   degradation ladder (fallback estimator, circuit breakers, degraded
+   native serving).
+2. **Fault accounting**: every injected fault must be visible in the
+   telemetry bus, per fault class (``faults.injected.*``) and per target
+   (``faults.target.*``), matching the injector's own counters exactly.
+3. **Determinism**: two same-seed chaos runs must produce byte-identical
+   telemetry exports.  Faults, breaker transitions and fallbacks are part
+   of the reproducible record, not noise.
+
+Profiles: ``quick`` (CI smoke) or ``full``; as a script
+(``python benchmarks/bench_p3_chaos.py --profile quick --export out.json``)
+it prints the report tables and writes the deterministic telemetry export
+CI diffs across two runs.
+"""
+
+import argparse
+import os
+
+from repro.bench import render_fault_stats, render_table
+from repro.serve import chaos_scenario
+
+_PROFILES = {
+    "quick": {"scale": 0.3, "n_queries": 160, "n_sessions": 8},
+    "full": {"scale": 0.5, "n_queries": 400, "n_sessions": 8},
+}
+PROFILE = os.environ.get("CHAOS_PROFILE", "quick")
+
+
+def _chaos(seed: int = 0, profile: str | None = None):
+    p = _PROFILES[profile or PROFILE]
+    return chaos_scenario(
+        scale=p["scale"],
+        seed=seed,
+        n_queries=p["n_queries"],
+        n_sessions=p["n_sessions"],
+    )
+
+
+def _fault_counters_from_bus(snapshot: dict) -> dict:
+    """The per-class / per-target fault counters as the bus recorded them."""
+    return {
+        k: v
+        for k, v in snapshot["counters"].items()
+        if k.startswith("faults.")
+    }
+
+
+def test_p3_chaos_workload_completes():
+    scenario = _chaos(seed=0)
+    report = scenario.run()
+    assert report.n_served == report.n_requests, "chaos run shed queries"
+    assert scenario.injector.total_injected() > 0, "no faults fired"
+    deployment = scenario.deployment
+    # Faults really hit the serving path and were absorbed, not avoided.
+    assert deployment.learned_failures + deployment.degraded_serves > 0
+    snap = deployment.telemetry.snapshot()
+    lat = snap["histograms"]["latency_ms"]
+    print(
+        render_table(
+            f"P3: chaos serving ({PROFILE}), "
+            f"{report.n_requests} requests",
+            ["served", "faults", "learned_failures", "degraded",
+             "breaker_trips", "p50_ms", "p99_ms"],
+            [(
+                report.n_served,
+                scenario.injector.total_injected(),
+                deployment.learned_failures,
+                deployment.degraded_serves,
+                deployment.breaker.trips,
+                lat["p50"],
+                lat["p99"],
+            )],
+        )
+    )
+    print(render_fault_stats(scenario.injector.stats()))
+
+
+def test_p3_fault_counters_reach_telemetry():
+    scenario = _chaos(seed=1)
+    scenario.run()
+    snap = scenario.deployment.telemetry.snapshot()
+    bus_counters = _fault_counters_from_bus(snap)
+    assert bus_counters, "no faults.* counters on the bus"
+    # Bus accounting must match the injector's ground truth per class.
+    by_kind: dict[str, int] = {}
+    by_target: dict[str, int] = {}
+    for key, count in scenario.injector.counters.items():
+        target, kind = key.split(".", 1)
+        by_kind[kind] = by_kind.get(kind, 0) + count
+        by_target[target] = by_target.get(target, 0) + count
+    for kind, count in by_kind.items():
+        assert bus_counters[f"faults.injected.{kind}"] == count
+    for target, count in by_target.items():
+        assert bus_counters[f"faults.target.{target}"] == count
+    print(
+        render_table(
+            "P3: fault classes on the telemetry bus",
+            ["counter", "count"],
+            sorted(bus_counters.items()),
+        )
+    )
+
+
+def test_p3_determinism_same_seed_same_export():
+    exports = []
+    for _ in range(2):
+        scenario = _chaos(seed=3)
+        scenario.run()
+        exports.append(scenario.deployment.telemetry.to_json())
+    assert exports[0] == exports[1], (
+        "same-seed chaos runs diverged (fault injection is not deterministic)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=sorted(_PROFILES), default="quick")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--export", metavar="PATH",
+        help="write the deterministic telemetry export (JSON) here",
+    )
+    args = parser.parse_args(argv)
+    scenario = _chaos(seed=args.seed, profile=args.profile)
+    report = scenario.run()
+    deployment = scenario.deployment
+    snap = deployment.telemetry.snapshot()
+    lat = snap["histograms"]["latency_ms"]
+    print(
+        render_table(
+            f"P3: chaos serving ({args.profile}), seed={args.seed}",
+            ["served", "requests", "faults", "learned_failures",
+             "degraded", "breaker_trips", "p50_ms", "p99_ms"],
+            [(
+                report.n_served,
+                report.n_requests,
+                scenario.injector.total_injected(),
+                deployment.learned_failures,
+                deployment.degraded_serves,
+                deployment.breaker.trips,
+                lat["p50"],
+                lat["p99"],
+            )],
+        )
+    )
+    print(render_fault_stats(scenario.injector.stats()))
+    if args.export:
+        with open(args.export, "w") as fh:
+            fh.write(deployment.telemetry.to_json())
+        print(f"telemetry export written to {args.export}")
+    return 0 if report.n_served == report.n_requests else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

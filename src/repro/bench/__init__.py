@@ -11,7 +11,11 @@ EXPERIMENTS.md); this package provides their shared machinery:
   experiment constructs methods consistently.
 """
 
-from repro.bench.report import render_cache_stats, render_table
+from repro.bench.report import (
+    render_cache_stats,
+    render_fault_stats,
+    render_table,
+)
 from repro.bench.io import load_workload, save_workload
 from repro.bench.workloads import (
     WorkloadSpec,
@@ -31,6 +35,7 @@ from repro.bench.suite import (
 __all__ = [
     "render_table",
     "render_cache_stats",
+    "render_fault_stats",
     "save_workload",
     "load_workload",
     "WorkloadSpec",

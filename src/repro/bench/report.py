@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["render_table", "render_cache_stats"]
+__all__ = ["render_table", "render_cache_stats", "render_fault_stats"]
 
 
 def _fmt(value) -> str:
@@ -66,4 +66,29 @@ def render_cache_stats(
             f"{stats['hit_rate']:.3f}",
         )],
         note=note,
+    )
+
+
+def render_fault_stats(
+    counters: dict, *, title: str = "fault injection", note: str | None = None
+) -> str:
+    """Render per-fault-class counters (``{"target.kind": count}``) from a
+    :class:`repro.faults.FaultInjector` or the matching ``faults.*``
+    telemetry counters.  Meta keys (``total``, ``clock_ms``) are split out
+    into the note line so the table stays one row per fault class.
+    """
+    meta = {k: v for k, v in counters.items() if "." not in k}
+    rows = [
+        (k.split(".", 1)[0], k.split(".", 1)[1], int(v))
+        for k, v in sorted(counters.items())
+        if "." in k
+    ]
+    if not rows:
+        rows = [("-", "-", 0)]
+    extras = ", ".join(f"{k}={_fmt(float(v))}" for k, v in sorted(meta.items()))
+    return render_table(
+        title,
+        ["target", "kind", "injected"],
+        rows,
+        note=", ".join(x for x in (extras, note) if x) or None,
     )

@@ -22,7 +22,12 @@ ones add ``fit(queries, cards)``; all are interchangeable inside
 :class:`repro.optimizer.Optimizer`.
 """
 
-from repro.cardest.base import BaseCardinalityEstimator, q_error
+from repro.cardest.base import (
+    BaseCardinalityEstimator,
+    q_error,
+    sanitize_estimate,
+    sanitize_estimates,
+)
 from repro.cardest.traditional import HistogramEstimator, SamplingEstimator
 from repro.cardest.querydriven import (
     CRNEstimator,
@@ -57,6 +62,8 @@ from repro.cardest.drift import DDUpDetector, DriftReport, Warper
 __all__ = [
     "BaseCardinalityEstimator",
     "q_error",
+    "sanitize_estimate",
+    "sanitize_estimates",
     "HistogramEstimator",
     "SamplingEstimator",
     "LinearQueryEstimator",

@@ -7,7 +7,53 @@ import numpy as np
 from repro.sql.query import Query
 from repro.storage.catalog import Database
 
-__all__ = ["BaseCardinalityEstimator", "q_error", "q_error_summary"]
+__all__ = [
+    "BaseCardinalityEstimator",
+    "q_error",
+    "q_error_summary",
+    "sanitize_estimate",
+    "sanitize_estimates",
+]
+
+#: Stand-in upper bound when the caller cannot provide one: large enough to
+#: never clip a legitimate estimate, small enough to keep cost arithmetic
+#: finite.  Shared by the scalar and batched sanitizers.
+NONFINITE_FALLBACK = 1e30
+
+
+def sanitize_estimate(value: float, upper: float | None = None) -> float:
+    """The one place pathological cardinality estimates become safe numbers.
+
+    NaN and +/-Inf map to ``upper`` (the caller's no-valid-result-exceeds-it
+    bound) or :data:`NONFINITE_FALLBACK` when no bound is known; negative
+    values clamp to 0; finite values clamp into ``[0, upper]``.  Every code
+    path that consumes raw estimator output -- the estimator base class, the
+    plan coster, the cardinality-injection driver -- routes through here, so
+    a broken learned model can skew plans but can never poison cost
+    arithmetic with non-finite values.
+    """
+    value = float(value)
+    bound = NONFINITE_FALLBACK if upper is None else float(upper)
+    if not np.isfinite(value):
+        return bound
+    return min(max(value, 0.0), bound)
+
+
+def sanitize_estimates(
+    values: np.ndarray, uppers: np.ndarray | float | None = None
+) -> np.ndarray:
+    """Vectorized :func:`sanitize_estimate` for the batched pipeline."""
+    values = np.asarray(values, dtype=float)
+    bounds = (
+        np.full(values.shape, NONFINITE_FALLBACK)
+        if uppers is None
+        else np.broadcast_to(np.asarray(uppers, dtype=float), values.shape)
+    )
+    # Per-element ``None`` uppers arrive as NaN: an unknown bound means
+    # "no bound", not a poisoned one.
+    bounds = np.where(np.isfinite(bounds), bounds, NONFINITE_FALLBACK)
+    values = np.where(np.isfinite(values), values, bounds)
+    return np.clip(values, 0.0, bounds)
 
 
 def q_error(estimate: float, true: float) -> float:
@@ -85,11 +131,7 @@ class BaseCardinalityEstimator:
         raise NotImplementedError
 
     def estimate(self, query: Query) -> float:
-        upper = self._upper_bound(query)
-        value = self._estimate(query)
-        if not np.isfinite(value):
-            value = upper
-        return float(min(max(value, 0.0), upper))
+        return sanitize_estimate(self._estimate(query), self._upper_bound(query))
 
     def _estimate_batch(self, queries: list[Query]) -> np.ndarray:
         """Raw batch estimates; the fallback loops the scalar hook."""
@@ -119,8 +161,7 @@ class BaseCardinalityEstimator:
             for t in q.tables:
                 u *= rows[t]
             uppers[i] = u
-        values = np.where(np.isfinite(values), values, uppers)
-        return np.clip(values, 0.0, uppers)
+        return sanitize_estimates(values, uppers)
 
     def __repr__(self) -> str:
         return f"{type(self).__name__}(name={self.name!r})"

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.framework import CandidatePlan
 from repro.engine.simulator import ExecutionSimulator
 from repro.optimizer.planner import Optimizer
 from repro.sql.query import Query
@@ -55,31 +56,61 @@ class OptimizationLoop:
         native: Optimizer,
         *,
         guard=None,
+        degrade_on_error: bool = True,
     ) -> None:
         """``guard`` optionally wraps plan selection (see
         :mod:`repro.regression`): it is called as
         ``guard(query, candidate, native_plan) -> candidate`` and may swap
-        in a safer plan."""
+        in a safer plan.
+
+        ``degrade_on_error`` (default) keeps the loop alive when the
+        learned component or the guard throws: the query is served with
+        the native plan (source ``"native:fallback"``) or the guard is
+        treated as abstaining, and the failure is counted in
+        :attr:`fallbacks` / :attr:`guard_errors`.  Set ``False`` to let
+        failures propagate (debugging)."""
         self.learned = learned
         self.simulator = simulator
         self.native = native
         self.guard = guard
+        self.degrade_on_error = degrade_on_error
         self.results: list[EpisodeResult] = []
+        self.fallbacks = 0  # learned failures served natively
+        self.guard_errors = 0  # contained guard exceptions
 
     def run_query(self, query: Query) -> EpisodeResult:
-        candidate = self.learned.choose_plan(query)
+        try:
+            candidate = self.learned.choose_plan(query)
+        except Exception:
+            if not self.degrade_on_error:
+                raise
+            self.fallbacks += 1
+            candidate = None
         native_plan = self.native.plan(query)
+        if candidate is None:
+            candidate = CandidatePlan(plan=native_plan, source="native:fallback")
         if self.guard is not None:
-            candidate = self.guard(query, candidate, native_plan)
+            try:
+                candidate = self.guard(query, candidate, native_plan)
+            except Exception:
+                if not self.degrade_on_error:
+                    raise
+                self.guard_errors += 1  # guard abstains, candidate stands
         latency = self.simulator.execute(candidate.plan).latency_ms
         native_latency = self.simulator.execute(native_plan).latency_ms
-        self.learned.record_feedback(query, candidate, latency)
+        if candidate.source != "native:fallback":
+            self.learned.record_feedback(query, candidate, latency)
         if self.guard is not None and hasattr(self.guard, "record"):
-            self.guard.record(query, candidate, latency, native_latency)
-            if hasattr(self.guard, "record_native") and (
-                candidate.plan.signature() != native_plan.signature()
-            ):
-                self.guard.record_native(query, native_plan, native_latency)
+            try:
+                self.guard.record(query, candidate, latency, native_latency)
+                if hasattr(self.guard, "record_native") and (
+                    candidate.plan.signature() != native_plan.signature()
+                ):
+                    self.guard.record_native(query, native_plan, native_latency)
+            except Exception:
+                if not self.degrade_on_error:
+                    raise
+                self.guard_errors += 1  # feedback lost, loop keeps serving
         result = EpisodeResult(
             query=query,
             source=candidate.source,

@@ -1,0 +1,61 @@
+"""Deterministic chaos/resilience subsystem (ROADMAP: robustness).
+
+The regression-elimination theme of the paper (§2.2.2: Eraser, PerfGuard)
+is about surviving a *misbehaving learned component*; the field studies
+(Wang et al., Lehmann et al.) show learned estimators and optimizers
+failing with pathological estimates, drift, stale models and slow
+inference.  This package makes those failures injectable -- and the rest
+of the stack survivable:
+
+- :mod:`repro.faults.plan` -- :class:`FaultPlan` / :class:`FaultInjector`:
+  seeded, hash-scheduled fault injection (exceptions, NaN/Inf/garbage
+  predictions, latency spikes, stale snapshots, transient disconnects)
+  wrapping estimators, learned optimizers, PilotScope drivers and the
+  execution simulator, byte-for-byte reproducible per seed;
+- :mod:`repro.faults.resilience` -- the primitives the serving stack uses
+  to degrade gracefully: :class:`CircuitBreaker` (closed -> open ->
+  half-open over virtual time), :class:`RetryPolicy` (deterministic
+  backoff), :class:`FallbackEstimator` / :class:`FallbackCostModel`
+  (learned -> histogram/analytic);
+- :mod:`repro.faults.clock` -- the shared :class:`VirtualClock` all
+  durations live on (nothing here touches wall clock).
+
+``benchmarks/bench_p3_chaos.py`` and the chaos scenario in
+:mod:`repro.serve.scenarios` drive the whole ladder end to end.
+"""
+
+from repro.faults.clock import VirtualClock
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    FaultyDriver,
+    FaultyEstimator,
+    FaultyLearnedOptimizer,
+    FaultySimulator,
+)
+from repro.faults.resilience import (
+    BreakerState,
+    CircuitBreaker,
+    FallbackCostModel,
+    FallbackEstimator,
+    RetryPolicy,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "BreakerState",
+    "CircuitBreaker",
+    "FallbackCostModel",
+    "FallbackEstimator",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultyDriver",
+    "FaultyEstimator",
+    "FaultyLearnedOptimizer",
+    "FaultySimulator",
+    "RetryPolicy",
+    "VirtualClock",
+]

@@ -14,8 +14,7 @@ primes many subsets at once (:meth:`PlanCoster.subquery_cardinalities`).
 
 from __future__ import annotations
 
-import numpy as np
-
+from repro.cardest.base import sanitize_estimate, sanitize_estimates
 from repro.core.interfaces import (
     CardinalityEstimator,
     batch_estimate,
@@ -58,11 +57,18 @@ class PlanCoster:
         return (estimator_cache_tag(self.estimator), self.db.data_version)
 
     def estimate_cardinality(self, query: Query) -> float:
-        """Cached (if enabled) estimate of one sub-query."""
+        """Cached (if enabled) estimate of one sub-query.
+
+        Estimates are sanitized centrally (:func:`repro.cardest.base.
+        sanitize_estimate`) before use or caching, so arbitrary estimator
+        output -- NaN, Inf, negatives -- can never reach cost arithmetic.
+        """
         if self.cache is None:
-            return max(self.estimator.estimate(query), 0.0)
+            return sanitize_estimate(self.estimator.estimate(query))
         return self.cache.get_or_compute(
-            self._cache_tag(), query, lambda q: max(self.estimator.estimate(q), 0.0)
+            self._cache_tag(),
+            query,
+            lambda q: sanitize_estimate(self.estimator.estimate(q)),
         )
 
     def subquery_cardinality(self, query: Query, tables: frozenset[str]) -> float:
@@ -94,7 +100,7 @@ class PlanCoster:
                 misses.append(tables)
                 miss_queries.append(sub)
         if misses:
-            values = np.maximum(batch_estimate(self.estimator, miss_queries), 0.0)
+            values = sanitize_estimates(batch_estimate(self.estimator, miss_queries))
             for tables, sub, value in zip(misses, miss_queries, values):
                 out[tables] = float(value)
                 if self.cache is not None:

@@ -5,6 +5,18 @@ the user's perspective nothing changes -- ``console.execute(sql)`` returns
 the query result either way; whether an AI4DB driver served the query is
 fully transparent (§3: "the execution of any AI4DB algorithm is totally
 transparent to the database user").
+
+**Resilient dispatch.**  A driver is a learned component and may fail:
+raise, hang (modelled as a virtual-latency budget blow-out), or lose its
+connection.  The console survives all of it: :class:`repro.core.errors.
+DriverError` / ``EstimationError`` from ``driver.algo`` are retried up to
+``retry_policy.max_attempts`` with deterministic exponential backoff
+(virtual ms, accumulated in ``retry_backoff_total_ms``), and when retries
+are exhausted -- or the driver's reported latency exceeds
+``call_timeout_ms`` -- the query is re-served natively, so a broken driver
+degrades service quality but never availability.  Unexpected exception
+types still propagate: the resilience path is for failures, not for
+masking bugs.
 """
 
 from __future__ import annotations
@@ -12,12 +24,17 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.pilotscope.driver import Driver, DriverConfig
+from repro.core.errors import ConfigError, DriverError, EstimationError
+from repro.faults.resilience import RetryPolicy
+from repro.pilotscope.driver import DriverConfig
 from repro.pilotscope.interactor import DBInteractor, ExecutionOutcome
 from repro.sql.parser import parse_query
 from repro.sql.query import Query
 
 __all__ = ["PilotScopeConsole", "QueryLogEntry"]
+
+#: driver failures the dispatch loop treats as transient/retryable
+_RETRYABLE = (DriverError, EstimationError)
 
 
 @dataclass(frozen=True)
@@ -32,7 +49,7 @@ class QueryLogEntry:
 
 @dataclass
 class _DriverSlot:
-    driver: Driver
+    driver: object
     active: bool = False
 
 
@@ -44,24 +61,51 @@ class PilotScopeConsole:
         interactor: DBInteractor,
         *,
         max_log_entries: int | None = 10_000,
+        retry_policy: RetryPolicy | None = None,
+        call_timeout_ms: float | None = None,
+        fallback_to_native: bool = True,
+        telemetry=None,
     ) -> None:
         """``max_log_entries`` caps :attr:`query_log` (oldest entries are
         dropped first) so sustained traffic cannot grow memory without
         bound; ``None`` keeps the log unbounded.  The totals below keep
-        counting past the cap."""
+        counting past the cap.
+
+        ``retry_policy`` bounds re-dispatch of transient driver failures;
+        ``call_timeout_ms`` is the per-call (virtual) latency budget a
+        driver answer may spend before the console discards it and serves
+        natively; ``fallback_to_native=False`` re-raises driver errors
+        once retries are exhausted instead of degrading.  ``telemetry``
+        is an optional :class:`repro.serve.TelemetryBus` receiving
+        ``console.*`` counters."""
         self.interactor = interactor
         self._drivers: dict[str, _DriverSlot] = {}
         self.query_log: deque[QueryLogEntry] = deque(maxlen=max_log_entries)
         self.queries_served = 0
         self.served_by_counts: dict[str, int] = {}
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self.call_timeout_ms = call_timeout_ms
+        self.fallback_to_native = fallback_to_native
+        self.telemetry = telemetry
+        self.driver_errors = 0
+        self.retries = 0
+        self.native_fallbacks = 0
+        self.timeouts = 0
+        self.retry_backoff_total_ms = 0.0
         self._updates_every = 0
         self._queries_since_update = 0
 
+    def _incr(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.incr(name)
+
     # -- driver management -----------------------------------------------------------
 
-    def register_driver(self, driver: Driver) -> None:
+    def register_driver(self, driver) -> None:
         if driver.name in self._drivers:
-            raise ValueError(f"driver {driver.name!r} already registered")
+            raise ConfigError(f"driver {driver.name!r} already registered")
         self._drivers[driver.name] = _DriverSlot(driver=driver)
 
     def start_driver(
@@ -78,7 +122,7 @@ class PilotScopeConsole:
                     and other.active
                     and other.driver.injection_type == "query_optimizer"
                 ):
-                    raise ValueError(
+                    raise ConfigError(
                         f"cannot start {name!r}: optimizer driver "
                         f"{other_name!r} is already active"
                     )
@@ -101,12 +145,12 @@ class PilotScopeConsole:
     def enable_background_updates(self, every_n_queries: int) -> None:
         """Run each active driver's background_update periodically."""
         if every_n_queries < 1:
-            raise ValueError("update period must be >= 1")
+            raise ConfigError("update period must be >= 1")
         self._updates_every = every_n_queries
 
     # -- query execution ---------------------------------------------------------------
 
-    def _serving_driver(self) -> Driver | None:
+    def _serving_driver(self):
         for slot in self._drivers.values():
             if slot.active and slot.driver.injection_type in (
                 "query_optimizer",
@@ -114,6 +158,43 @@ class PilotScopeConsole:
             ):
                 return slot.driver
         return None
+
+    def _dispatch(self, driver, query: Query) -> ExecutionOutcome | None:
+        """One driver dispatch with retries and the latency budget.
+
+        Returns ``None`` when the driver could not serve the query within
+        policy (degrade to native) -- or re-raises when native fallback is
+        disabled."""
+        attempt = 0
+        while True:
+            try:
+                outcome = driver.algo(query)
+                break
+            except _RETRYABLE:
+                self.driver_errors += 1
+                self._incr("console.driver_errors")
+                attempt += 1
+                if attempt >= self.retry_policy.max_attempts:
+                    if not self.fallback_to_native:
+                        raise
+                    self.native_fallbacks += 1
+                    self._incr("console.native_fallbacks")
+                    return None
+                self.retries += 1
+                self.retry_backoff_total_ms += self.retry_policy.backoff_ms(
+                    attempt - 1
+                )
+                self._incr("console.retries")
+        if (
+            self.call_timeout_ms is not None
+            and outcome.latency_ms > self.call_timeout_ms
+        ):
+            # The driver answered, but too slowly to serve: charge it as a
+            # timeout and degrade this query to native execution.
+            self.timeouts += 1
+            self._incr("console.timeouts")
+            return None
+        return outcome
 
     def execute(self, sql_or_query: str | Query) -> ExecutionOutcome:
         """Execute user SQL, transparently through the active driver."""
@@ -123,12 +204,14 @@ class PilotScopeConsole:
             else sql_or_query
         )
         driver = self._serving_driver()
+        outcome = None
+        served_by = "native"
         if driver is not None:
-            outcome = driver.algo(query)
-            served_by = driver.name
-        else:
+            outcome = self._dispatch(driver, query)
+            if outcome is not None:
+                served_by = driver.name
+        if outcome is None:
             outcome = self.interactor.execute_default(query)
-            served_by = "native"
         self.query_log.append(
             QueryLogEntry(
                 sql=query.to_sql(),
@@ -148,3 +231,13 @@ class PilotScopeConsole:
                 if slot.active:
                     slot.driver.background_update()
         return outcome
+
+    def resilience_stats(self) -> dict[str, float]:
+        """Gauge-friendly dispatch counters for telemetry snapshots."""
+        return {
+            "driver_errors": float(self.driver_errors),
+            "retries": float(self.retries),
+            "native_fallbacks": float(self.native_fallbacks),
+            "timeouts": float(self.timeouts),
+            "retry_backoff_total_ms": self.retry_backoff_total_ms,
+        }

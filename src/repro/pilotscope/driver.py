@@ -16,6 +16,7 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass, field
 
+from repro.core.errors import DriverError
 from repro.pilotscope.interactor import DBInteractor, ExecutionOutcome
 from repro.sql.query import Query
 
@@ -63,7 +64,7 @@ class Driver(abc.ABC):
 
     def _require_started(self) -> DBInteractor:
         if not self.started or self.interactor is None:
-            raise RuntimeError(
+            raise DriverError(
                 f"driver {self.name!r} used before init() -- start it via the console"
             )
         return self.interactor

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.cardest.base import sanitize_estimate
 from repro.core.framework import CandidatePlan
 from repro.costmodel.features import PlanFeaturizer
 from repro.e2e.risk_models import PairwisePlanComparator, TreeConvLatencyModel
@@ -43,7 +44,7 @@ class CardinalityInjectionDriver(Driver):
         with interactor.open_session() as session:
             subqueries = session.pull_subqueries(query)
             cards = {
-                sub.to_sql(): max(self.estimator.estimate(sub), 0.0)
+                sub.to_sql(): sanitize_estimate(self.estimator.estimate(sub))
                 for sub in subqueries
             }
             session.push_cardinalities(cards)

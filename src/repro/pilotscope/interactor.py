@@ -22,6 +22,7 @@ import abc
 from dataclasses import dataclass
 from itertools import combinations
 
+from repro.core.errors import SessionClosedError
 from repro.engine.plans import Plan
 from repro.engine.simulator import ExecutionResult
 from repro.optimizer.hints import HintSet
@@ -52,7 +53,7 @@ class PilotSession(abc.ABC):
 
     def _check_open(self) -> None:
         if self.closed:
-            raise RuntimeError("session is closed")
+            raise SessionClosedError("session is closed")
 
     # -- push operators ---------------------------------------------------------
 

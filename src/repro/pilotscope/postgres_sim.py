@@ -8,6 +8,7 @@ and the execution simulator.
 
 from __future__ import annotations
 
+from repro.core.errors import ConfigError
 from repro.core.interfaces import InjectedCardinalities, ScaledCardinalities
 from repro.engine.plans import Plan
 from repro.engine.simulator import ExecutionResult, ExecutionSimulator
@@ -47,7 +48,7 @@ class _SimSession(PilotSession):
     def push_cardinality_scale(self, factor: float) -> None:
         self._check_open()
         if factor <= 0:
-            raise ValueError("scale factor must be positive")
+            raise ConfigError("scale factor must be positive")
         self._scale = factor
 
     def push_config(self, key: str, value) -> None:

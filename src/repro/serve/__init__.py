@@ -19,7 +19,8 @@ workload and manages a learned optimizer's production lifecycle:
   cardinality-cache hit/miss deltas) and lifecycle events, exported as a
   deterministic ``snapshot()``;
 - :mod:`repro.serve.scenarios` -- canned steady-state / mid-stream-drift /
-  injected-regression setups used by ``benchmarks/bench_p2_serving.py``
+  injected-regression / chaos setups used by
+  ``benchmarks/bench_p2_serving.py``, ``benchmarks/bench_p3_chaos.py``
   and the tests.
 """
 
@@ -37,6 +38,8 @@ from repro.serve.runtime import (
 from repro.serve.scenarios import (
     RegressionInjector,
     ServingScenario,
+    chaos_scenario,
+    default_chaos_plan,
     drift_scenario,
     injected_regression_scenario,
     steady_state_scenario,
@@ -60,6 +63,8 @@ __all__ = [
     "TelemetryBus",
     "TraceRecord",
     "build_schedule",
+    "chaos_scenario",
+    "default_chaos_plan",
     "drift_scenario",
     "injected_regression_scenario",
     "steady_state_scenario",

@@ -34,8 +34,10 @@ import hashlib
 from dataclasses import dataclass
 from statistics import fmean
 
+from repro.core.errors import ConfigError
 from repro.e2e.loop import EpisodeResult
 from repro.engine.simulator import ExecutionSimulator
+from repro.faults.resilience import BreakerState, CircuitBreaker
 from repro.optimizer.planner import Optimizer
 from repro.regression import GuardChain
 from repro.serve.telemetry import TelemetryBus
@@ -113,16 +115,33 @@ class DeploymentManager:
         auto_promote: bool = False,
         monitor_native: bool = True,
         name: str | None = None,
+        breaker: CircuitBreaker | None = None,
+        call_timeout_ms: float | None = None,
+        rollback_after_trips: int | None = 3,
     ) -> None:
+        """``breaker`` guards the learned optimizer: exceptions and
+        latency-budget blow-outs from ``choose_plan`` are recorded as
+        failures, queries behind an open breaker are served via the
+        degradation ladder (``plan_source="native:degraded"``), and once
+        the breaker has tripped ``rollback_after_trips`` times while
+        CANARY/LIVE the model is rolled back for good (``None`` disables
+        the trigger).  ``call_timeout_ms`` is the virtual per-call
+        inference budget, checked against the learned component's
+        ``last_call_latency_ms`` when it reports one (the fault injector's
+        wrappers do)."""
         if not 0.0 < canary_fraction <= 1.0:
-            raise ValueError("canary_fraction must be in (0, 1]")
+            raise ConfigError("canary_fraction must be in (0, 1]")
         if min_samples < 1 or window < min_samples:
-            raise ValueError("need window >= min_samples >= 1")
+            raise ConfigError("need window >= min_samples >= 1")
+        if rollback_after_trips is not None and rollback_after_trips < 1:
+            raise ConfigError("rollback_after_trips must be >= 1 or None")
         self.learned = learned
         self.native = native
         self.simulator = simulator
         self.guard = GuardChain(*guards) if guards else None
         self.telemetry = telemetry if telemetry is not None else TelemetryBus()
+        if self.guard is not None:
+            self.guard.telemetry = self.telemetry
         self.stage = stage
         self.canary_fraction = canary_fraction
         self.window = window
@@ -131,10 +150,19 @@ class DeploymentManager:
         self.auto_promote = auto_promote
         self.monitor_native = monitor_native
         self.name = name or getattr(learned, "name", type(learned).__name__)
+        self.breaker = breaker
+        self.call_timeout_ms = call_timeout_ms
+        self.rollback_after_trips = rollback_after_trips
         self.queries_served = 0
+        self.learned_failures = 0
+        self.degraded_serves = 0
         self._regressions: list[float] = []  # rolling, len <= window
         if hasattr(native, "cache_stats"):
             self.telemetry.attach_gauge("cardinality_cache", native.cache_stats)
+        if breaker is not None:
+            if breaker.telemetry is None:
+                breaker.telemetry = self.telemetry
+            self.telemetry.attach_gauge(f"breaker_{breaker.name}", breaker.stats)
         for i, g in enumerate(guards):
             if hasattr(g, "intervention_rate"):
                 self.telemetry.attach_gauge(
@@ -152,7 +180,7 @@ class DeploymentManager:
         """SHADOW -> CANARY -> LIVE; anything else is an error."""
         nxt = _PROMOTIONS.get(self.stage)
         if nxt is None:
-            raise ValueError(f"cannot promote from {self.stage.value}")
+            raise ConfigError(f"cannot promote from {self.stage.value}")
         self._transition(nxt, reason="promote")
         return self.stage
 
@@ -229,6 +257,10 @@ class DeploymentManager:
         else:
             decision = self._serve_native(query, stage)
         self.queries_served += 1
+        if self.breaker is not None:
+            # Served latency drives the breaker's virtual clock, so
+            # cooldowns elapse deterministically with traffic.
+            self.breaker.clock.advance(decision.latency_ms)
         self._record(decision)
         return decision
 
@@ -239,19 +271,28 @@ class DeploymentManager:
         if stage is Stage.SHADOW:
             # Off-path evaluation: plan with the raw model, execute
             # hypothetically, feed the latency back so the model trains.
-            candidate = self.learned.choose_plan(query)
-            if candidate.plan.signature() == native_plan.signature():
-                shadow_latency = result.latency_ms
-            else:
-                shadow_latency = self.simulator.execute(candidate.plan).latency_ms
-            self.learned.record_feedback(query, candidate, shadow_latency)
-            episode = EpisodeResult(
-                query=query,
-                source=candidate.source,
-                latency_ms=shadow_latency,
-                native_latency_ms=result.latency_ms,
-            )
-            self._observe_regression(episode.regression)
+            # A crashing model must not take native serving down with it:
+            # the failure is recorded and shadow evaluation is skipped.
+            try:
+                candidate = self.learned.choose_plan(query)
+            except Exception:
+                self._learned_failure("shadow_error")
+                candidate = None
+            if candidate is not None:
+                if candidate.plan.signature() == native_plan.signature():
+                    shadow_latency = result.latency_ms
+                else:
+                    shadow_latency = self.simulator.execute(
+                        candidate.plan
+                    ).latency_ms
+                self.learned.record_feedback(query, candidate, shadow_latency)
+                episode = EpisodeResult(
+                    query=query,
+                    source=candidate.source,
+                    latency_ms=shadow_latency,
+                    native_latency_ms=result.latency_ms,
+                )
+                self._observe_regression(episode.regression)
         return ServeDecision(
             query=query,
             stage=stage.value,
@@ -263,8 +304,65 @@ class DeploymentManager:
             shadow_latency_ms=shadow_latency,
         )
 
+    def _learned_failure(self, reason: str) -> None:
+        """Account one learned-path failure and drive the breaker."""
+        self.learned_failures += 1
+        self.telemetry.incr("deployment.learned_failures")
+        self.telemetry.incr(f"deployment.learned_failures.{reason}")
+        if self.breaker is None:
+            return
+        trips_before = self.breaker.trips
+        self.breaker.record_failure()
+        if self.breaker.trips > trips_before:
+            self.telemetry.incr("deployment.breaker_trips")
+            if (
+                self.rollback_after_trips is not None
+                and self.breaker.trips >= self.rollback_after_trips
+                and self.stage in (Stage.CANARY, Stage.LIVE)
+            ):
+                self.telemetry.incr("deployment.auto_rollbacks")
+                self._transition(
+                    Stage.ROLLED_BACK,
+                    reason=f"breaker_trips={self.breaker.trips}"
+                    f">={self.rollback_after_trips}",
+                )
+
+    def _serve_degraded(self, query: Query, stage: Stage) -> ServeDecision:
+        """Bottom of the degradation ladder: serve natively, skip the
+        learned path entirely (no feedback -- the model is suspect)."""
+        self.degraded_serves += 1
+        self.telemetry.incr("deployment.degraded")
+        native_plan = self.native.plan(query)
+        result = self.simulator.execute(native_plan)
+        return ServeDecision(
+            query=query,
+            stage=stage.value,
+            served_learned=False,
+            plan_source="native:degraded",
+            latency_ms=result.latency_ms,
+            cardinality=result.cardinality,
+            native_latency_ms=None,
+            shadow_latency_ms=None,
+        )
+
     def _serve_learned(self, query: Query, stage: Stage) -> ServeDecision:
-        candidate = self.learned.choose_plan(query)
+        if self.breaker is not None and not self.breaker.allow():
+            self.telemetry.incr("deployment.degraded.breaker_open")
+            return self._serve_degraded(query, stage)
+        try:
+            candidate = self.learned.choose_plan(query)
+        except Exception:
+            self._learned_failure("error")
+            return self._serve_degraded(query, stage)
+        if self.call_timeout_ms is not None:
+            inference_ms = float(
+                getattr(self.learned, "last_call_latency_ms", 0.0) or 0.0
+            )
+            if inference_ms > self.call_timeout_ms:
+                self._learned_failure("timeout")
+                return self._serve_degraded(query, stage)
+        if self.breaker is not None:
+            self.breaker.record_success()
         native_plan = self.native.plan(query)
         if self.guard is not None:
             candidate = self.guard(query, candidate, native_plan)

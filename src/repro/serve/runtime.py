@@ -32,6 +32,7 @@ from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.core.errors import ConfigError
 from repro.pilotscope.console import PilotScopeConsole
 from repro.serve.deployment import query_hash
 from repro.serve.telemetry import TelemetryBus, TraceRecord
@@ -140,7 +141,7 @@ def build_schedule(
     import numpy as np
 
     if n_sessions < 1:
-        raise ValueError("need at least one session")
+        raise ConfigError("need at least one session")
     per_session: list[list] = [[] for _ in range(n_sessions)]
     for i, query in enumerate(queries):
         per_session[i % n_sessions].append(query)

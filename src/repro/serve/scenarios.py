@@ -15,6 +15,12 @@ ready to :meth:`~ServingScenario.run`:
   after ``trigger_at`` decisions (it starts proposing nested-loop-only
   plans), which must trip the deployment's rolling regression window and
   roll the model back automatically.
+- :func:`chaos_scenario`: the full degradation ladder under a seeded
+  :class:`~repro.faults.FaultPlan` -- the estimator throws / returns
+  NaN / serves stale statistics behind a :class:`~repro.faults.
+  FallbackEstimator`, the learned optimizer crashes and stalls behind the
+  deployment's circuit breaker, and the run must still complete with every
+  query answered.  Byte-for-byte reproducible per seed.
 """
 
 from __future__ import annotations
@@ -25,8 +31,16 @@ from repro.bench.workloads import apply_drift
 from repro.core.framework import CandidatePlan
 from repro.e2e.bao import BaoOptimizer
 from repro.engine.simulator import ExecutionSimulator
+from repro.faults import (
+    CircuitBreaker,
+    FallbackEstimator,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
 from repro.optimizer.hints import HintSet
 from repro.optimizer.planner import Optimizer
+from repro.optimizer.traditional import TraditionalCardinalityEstimator
 from repro.serve.deployment import DeploymentManager, Stage
 from repro.serve.runtime import (
     Request,
@@ -35,6 +49,7 @@ from repro.serve.runtime import (
     ServingRuntime,
     build_schedule,
 )
+from repro.serve.telemetry import TelemetryBus
 from repro.sql.generator import WorkloadGenerator
 from repro.sql.query import Query
 from repro.storage.catalog import Database
@@ -46,6 +61,8 @@ __all__ = [
     "steady_state_scenario",
     "drift_scenario",
     "injected_regression_scenario",
+    "default_chaos_plan",
+    "chaos_scenario",
 ]
 
 
@@ -102,6 +119,8 @@ class ServingScenario:
     deployment: DeploymentManager
     runtime: ServingRuntime
     schedule: list[list[Request]]
+    #: set on chaos scenarios: the fault injector driving the run
+    injector: FaultInjector | None = None
 
     def run(self) -> RunReport:
         return self.runtime.run(self.schedule)
@@ -256,4 +275,117 @@ def injected_regression_scenario(
         learned_wrap=lambda learned, native: RegressionInjector(
             learned, native, trigger_at=trigger_at
         ),
+    )
+
+
+def default_chaos_plan(seed: int = 0) -> FaultPlan:
+    """A representative fault mix covering every rung of the ladder:
+    estimator crashes, non-finite and garbage outputs, stale-statistics
+    snapshots, plus learned-optimizer crashes and inference stalls."""
+    return FaultPlan(
+        (
+            FaultSpec(kind="exception", rate=0.08, target="estimator"),
+            FaultSpec(kind="nan", rate=0.05, target="estimator"),
+            FaultSpec(kind="inf", rate=0.03, target="estimator"),
+            FaultSpec(
+                kind="garbage", rate=0.04, target="estimator", magnitude=1e6
+            ),
+            FaultSpec(kind="stale", rate=0.08, target="estimator"),
+            FaultSpec(kind="exception", rate=0.06, target="learned"),
+            FaultSpec(
+                kind="latency", rate=0.05, target="learned", magnitude=400.0
+            ),
+        ),
+        seed=seed,
+    )
+
+
+def chaos_scenario(
+    *,
+    scale: float = 0.3,
+    seed: int = 0,
+    n_queries: int = 120,
+    n_sessions: int = 8,
+    plan: FaultPlan | None = None,
+    stage: Stage = Stage.CANARY,
+    canary_fraction: float = 0.5,
+    call_timeout_ms: float = 200.0,
+    rollback_after_trips: int | None = None,
+    config: RuntimeConfig | None = None,
+) -> ServingScenario:
+    """The serving stack under deterministic fault injection.
+
+    The native estimator is wrapped in a fault injector and then a
+    :class:`~repro.faults.FallbackEstimator` (histogram fallback behind a
+    circuit breaker); the Bao-style learned optimizer plans *through* that
+    resilient estimator and is itself wrapped in the injector, guarded by
+    the deployment's own breaker and per-call inference budget.  All
+    breakers share the injector's virtual clock, which the deployment
+    advances by served latency -- so cooldowns, like everything else, are
+    a pure function of the seed.  ``rollback_after_trips=None`` keeps the
+    model deployed however often the breaker trips (the default here, so
+    benchmarks exercise the whole ladder all run long); pass an int to
+    demonstrate the trip-triggered rollback instead.
+    """
+    db = make_stats_lite(scale=scale, seed=seed)
+    native = Optimizer(db)
+    simulator = ExecutionSimulator(db)
+    bus = TelemetryBus()
+    injector = FaultInjector(
+        plan if plan is not None else default_chaos_plan(seed), telemetry=bus
+    )
+    estimator_breaker = CircuitBreaker(
+        failure_threshold=3,
+        cooldown_ms=500.0,
+        clock=injector.clock,
+        name="estimator",
+        telemetry=bus,
+    )
+    resilient = FallbackEstimator(
+        injector.wrap_estimator(native.estimator),
+        TraditionalCardinalityEstimator(db),
+        breaker=estimator_breaker,
+        telemetry=bus,
+        name="estimator",
+    )
+    learned = injector.wrap_learned(
+        BaoOptimizer(native.with_estimator(resilient), seed=seed)
+    )
+    deployment = DeploymentManager(
+        learned,
+        native,
+        simulator,
+        telemetry=bus,
+        stage=stage,
+        canary_fraction=canary_fraction,
+        regression_threshold=3.0,
+        window=40,
+        min_samples=15,
+        breaker=CircuitBreaker(
+            failure_threshold=3,
+            cooldown_ms=400.0,
+            clock=injector.clock,
+            name="learned",
+            telemetry=bus,
+        ),
+        call_timeout_ms=call_timeout_ms,
+        rollback_after_trips=rollback_after_trips,
+    )
+    bus.attach_gauge("fault_injector", injector.stats)
+    bus.attach_gauge("fallback_estimator", resilient.stats)
+    bus.attach_gauge("breaker_estimator", estimator_breaker.stats)
+    queries = WorkloadGenerator(db, seed=seed + 1).workload(
+        n_queries, 2, 4, require_predicate=True
+    )
+    schedule = build_schedule(queries, n_sessions, seed=seed)
+    runtime = ServingRuntime(deployment, config=config)
+    return ServingScenario(
+        name="chaos",
+        db=db,
+        native=native,
+        simulator=simulator,
+        deployment=deployment,
+        runtime=runtime,
+        schedule=schedule,
+        injector=injector,
     )

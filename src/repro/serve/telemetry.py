@@ -20,6 +20,8 @@ from __future__ import annotations
 
 import json
 import threading
+
+from repro.core.errors import ConfigError
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -39,7 +41,7 @@ class Histogram:
 
     def __init__(self, capacity: int = 65_536) -> None:
         if capacity < 2:
-            raise ValueError("histogram capacity must be >= 2")
+            raise ConfigError("histogram capacity must be >= 2")
         self.capacity = capacity
         self._values: list[float] = []
         self.count = 0
@@ -103,7 +105,7 @@ class TelemetryBus:
 
     def __init__(self, trace_capacity: int = 100_000) -> None:
         if trace_capacity < 1:
-            raise ValueError("trace capacity must be >= 1")
+            raise ConfigError("trace capacity must be >= 1")
         self.trace_capacity = trace_capacity
         self._lock = threading.Lock()
         self._counters: dict[str, float] = {}

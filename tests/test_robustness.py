@@ -133,3 +133,521 @@ class TestCrossDatabaseSanity:
         )
         loop.run(workload)
         assert loop.summary()["worst_regression"] < 5.0
+
+
+# ---------------------------------------------------------------------------
+# PR 3: deterministic fault injection + the graceful-degradation ladder
+# ---------------------------------------------------------------------------
+
+
+class TestSanitizeEstimate:
+    def test_nonfinite_and_negative_values(self):
+        from repro.cardest.base import NONFINITE_FALLBACK, sanitize_estimate
+
+        assert sanitize_estimate(float("nan")) == NONFINITE_FALLBACK
+        assert sanitize_estimate(float("inf")) == NONFINITE_FALLBACK
+        assert sanitize_estimate(float("-inf")) == NONFINITE_FALLBACK
+        assert sanitize_estimate(-42.0) == 0.0
+        assert sanitize_estimate(17.5) == 17.5
+
+    def test_upper_bound_clamps(self):
+        from repro.cardest.base import sanitize_estimate
+
+        assert sanitize_estimate(1e12, upper=100.0) == 100.0
+        assert sanitize_estimate(float("nan"), upper=100.0) == 100.0
+        assert sanitize_estimate(50.0, upper=100.0) == 50.0
+
+    def test_vectorized_matches_scalar(self):
+        from repro.cardest.base import sanitize_estimate, sanitize_estimates
+
+        values = [float("nan"), float("inf"), -3.0, 0.0, 2.5, 1e35]
+        uppers = [10.0, None, 5.0, 5.0, None, 1e30]
+        vec = sanitize_estimates(np.array(values), uppers)
+        for got, v, u in zip(vec, values, uppers):
+            assert got == sanitize_estimate(v, upper=u)
+
+    def test_estimator_surface_is_always_finite(self, stats_db):
+        class Broken:
+            def _estimate(self, query):
+                return float("nan")
+
+        from repro.cardest.base import BaseCardinalityEstimator
+
+        class BrokenEst(BaseCardinalityEstimator):
+            name = "broken"
+
+            def __init__(self, db):
+                super().__init__(db)
+
+            def _estimate(self, query):
+                return float("inf")
+
+        est = BrokenEst(stats_db)
+        q = WorkloadGenerator(stats_db, seed=180).random_query(
+            2, 3, require_predicate=True
+        )
+        assert np.isfinite(est.estimate(q))
+
+
+class TestTypedErrors:
+    def test_hierarchy(self):
+        from repro.core.errors import (
+            AdmissionRejected,
+            ConfigError,
+            DriverError,
+            EstimationError,
+            InjectedDriverError,
+            InjectedEstimationError,
+            InjectedFault,
+            ReproError,
+            SessionClosedError,
+        )
+
+        assert issubclass(ConfigError, ValueError)
+        assert issubclass(ConfigError, ReproError)
+        assert issubclass(DriverError, RuntimeError)
+        assert issubclass(SessionClosedError, DriverError)
+        assert issubclass(EstimationError, ReproError)
+        assert issubclass(AdmissionRejected, ReproError)
+        assert issubclass(InjectedEstimationError, InjectedFault)
+        assert issubclass(InjectedEstimationError, EstimationError)
+        assert issubclass(InjectedDriverError, DriverError)
+
+    def test_config_errors_still_catchable_as_valueerror(self, stats_db):
+        console = PilotScopeConsole(SimulatedPostgreSQL(stats_db))
+        with pytest.raises(ValueError):
+            console.enable_background_updates(0)
+
+    def test_driver_use_before_init_is_driver_error(self, stats_db):
+        from repro.core.errors import DriverError
+        from repro.pilotscope import CardinalityInjectionDriver
+
+        driver = CardinalityInjectionDriver(HistogramEstimator(stats_db))
+        q = Query(("users",))
+        with pytest.raises(DriverError):
+            driver.algo(q)
+
+
+class TestCircuitBreaker:
+    def _breaker(self, **kw):
+        from repro.faults import CircuitBreaker, VirtualClock
+
+        clock = VirtualClock()
+        kw.setdefault("failure_threshold", 3)
+        kw.setdefault("cooldown_ms", 100.0)
+        return CircuitBreaker(clock=clock, **kw), clock
+
+    def test_trips_after_consecutive_failures(self):
+        from repro.faults import BreakerState
+
+        breaker, _ = self._breaker()
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow()
+
+    def test_success_resets_failure_streak(self):
+        from repro.faults import BreakerState
+
+        breaker, _ = self._breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_after_cooldown_then_close(self):
+        from repro.faults import BreakerState
+
+        breaker, clock = self._breaker(half_open_successes=2)
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(100.0)
+        assert breaker.allow()  # cooldown elapsed -> half-open probe
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_half_open_failure_reopens(self):
+        from repro.faults import BreakerState
+
+        breaker, clock = self._breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(100.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+
+
+class TestFaultPlanDeterminism:
+    def _plan(self, seed):
+        from repro.faults import FaultPlan, FaultSpec
+
+        return FaultPlan(
+            (
+                FaultSpec(kind="nan", rate=0.2, target="estimator"),
+                FaultSpec(kind="exception", rate=0.1),
+            ),
+            seed=seed,
+        )
+
+    def test_same_seed_same_decisions(self):
+        a = self._plan(seed=4)
+        b = self._plan(seed=4)
+        decisions_a = [a.decide("estimator", i) for i in range(200)]
+        decisions_b = [b.decide("estimator", i) for i in range(200)]
+        assert decisions_a == decisions_b
+        assert any(d is not None for d in decisions_a)
+
+    def test_different_seeds_differ(self):
+        a = [self._plan(seed=1).decide("estimator", i) for i in range(200)]
+        b = [self._plan(seed=2).decide("estimator", i) for i in range(200)]
+        assert a != b
+
+    def test_call_window_respected(self):
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            (FaultSpec(kind="exception", rate=1.0, start_call=5, end_call=8),),
+            seed=0,
+        )
+        fired = [i for i in range(20) if plan.decide("x", i) is not None]
+        assert fired == [5, 6, 7]
+
+    def test_rate_zero_and_one(self):
+        from repro.faults import FaultPlan, FaultSpec
+
+        never = FaultPlan((FaultSpec(kind="nan", rate=0.0),), seed=0)
+        always = FaultPlan((FaultSpec(kind="nan", rate=1.0),), seed=0)
+        assert all(never.decide("t", i) is None for i in range(50))
+        assert all(always.decide("t", i) is not None for i in range(50))
+
+    def test_garbage_value_reproducible(self):
+        a = self._plan(seed=9)
+        b = self._plan(seed=9)
+        assert a.garbage_value("estimator", 3, 100.0) == b.garbage_value(
+            "estimator", 3, 100.0
+        )
+
+
+class TestFallbackEstimator:
+    def _resilient(self, stats_db, primary, **kw):
+        from repro.faults import FallbackEstimator
+
+        return FallbackEstimator(primary, HistogramEstimator(stats_db), **kw)
+
+    def test_primary_exception_serves_fallback(self, stats_db):
+        class Crashing:
+            def estimate(self, query):
+                raise RuntimeError("model exploded")
+
+        est = self._resilient(stats_db, Crashing())
+        q = WorkloadGenerator(stats_db, seed=181).random_query(
+            2, 3, require_predicate=True
+        )
+        value = est.estimate(q)
+        assert np.isfinite(value) and value >= 0.0
+        assert est.fallback_served == 1
+        assert est.primary_errors == 1
+
+    def test_nonfinite_output_serves_fallback(self, stats_db):
+        class NaNny:
+            def estimate(self, query):
+                return float("nan")
+
+        est = self._resilient(stats_db, NaNny())
+        q = WorkloadGenerator(stats_db, seed=182).random_query(
+            2, 3, require_predicate=True
+        )
+        assert np.isfinite(est.estimate(q))
+        assert est.nonfinite_outputs == 1
+
+    def test_breaker_opens_and_denies_primary(self, stats_db):
+        from repro.faults import BreakerState, CircuitBreaker
+
+        class Crashing:
+            calls = 0
+
+            def estimate(self, query):
+                Crashing.calls += 1
+                raise RuntimeError("down")
+
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_ms=1e9)
+        est = self._resilient(stats_db, Crashing(), breaker=breaker)
+        q = WorkloadGenerator(stats_db, seed=183).random_query(
+            2, 3, require_predicate=True
+        )
+        for _ in range(5):
+            assert np.isfinite(est.estimate(q))
+        assert breaker.state is BreakerState.OPEN
+        assert Crashing.calls == 2  # breaker stopped further primary calls
+        assert est.breaker_denied == 3
+
+    def test_estimates_version_tracks_breaker_epoch(self, stats_db):
+        from repro.faults import CircuitBreaker
+
+        class Crashing:
+            def estimate(self, query):
+                raise RuntimeError("down")
+
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_ms=1e9)
+        est = self._resilient(stats_db, Crashing(), breaker=breaker)
+        before = est.estimates_version
+        q = WorkloadGenerator(stats_db, seed=184).random_query(
+            2, 3, require_predicate=True
+        )
+        est.estimate(q)  # trips the breaker
+        assert est.estimates_version != before
+
+
+class TestConsoleResilience:
+    class FlakyDriver:
+        """Raises DriverError on the first ``fail_first`` calls."""
+
+        injection_type = "query_optimizer"
+        name = "flaky"
+
+        def __init__(self, fail_first=0, latency_ms=None):
+            self.fail_first = fail_first
+            self.latency_ms = latency_ms
+            self.calls = 0
+
+        def init(self, interactor, config=None):
+            self.interactor = interactor
+
+        def algo(self, query):
+            from repro.core.errors import DriverError
+
+            self.calls += 1
+            if self.calls <= self.fail_first:
+                raise DriverError("transient")
+            outcome = self.interactor.execute_default(query)
+            if self.latency_ms is not None:
+                from dataclasses import replace
+
+                outcome = replace(outcome, latency_ms=self.latency_ms)
+            return outcome
+
+        def background_update(self):
+            pass
+
+    def _console(self, stats_db, driver, **kw):
+        console = PilotScopeConsole(SimulatedPostgreSQL(stats_db), **kw)
+        console.register_driver(driver)
+        console.start_driver("flaky")
+        return console
+
+    def test_transient_failure_is_retried(self, stats_db):
+        from repro.faults import RetryPolicy
+
+        driver = self.FlakyDriver(fail_first=1)
+        console = self._console(
+            stats_db, driver, retry_policy=RetryPolicy(max_attempts=3)
+        )
+        console.execute(Query(("users",)))
+        assert console.query_log[-1].served_by == "flaky"
+        assert console.retries == 1
+        assert console.native_fallbacks == 0
+
+    def test_exhausted_retries_degrade_to_native(self, stats_db):
+        driver = self.FlakyDriver(fail_first=100)
+        console = self._console(stats_db, driver)
+        outcome = console.execute(Query(("users",)))
+        assert outcome.cardinality >= 0
+        assert console.query_log[-1].served_by == "native"
+        assert console.native_fallbacks == 1
+        assert console.driver_errors == 2  # default policy: 2 attempts
+
+    def test_fallback_disabled_reraises(self, stats_db):
+        from repro.core.errors import DriverError
+
+        driver = self.FlakyDriver(fail_first=100)
+        console = self._console(stats_db, driver, fallback_to_native=False)
+        with pytest.raises(DriverError):
+            console.execute(Query(("users",)))
+
+    def test_latency_budget_times_out_driver(self, stats_db):
+        driver = self.FlakyDriver(latency_ms=500.0)
+        console = self._console(stats_db, driver, call_timeout_ms=100.0)
+        console.execute(Query(("users",)))
+        assert console.query_log[-1].served_by == "native"
+        assert console.timeouts == 1
+
+    def test_backoff_is_deterministic(self):
+        from repro.faults import RetryPolicy
+
+        policy = RetryPolicy(max_attempts=4, base_backoff_ms=5.0, multiplier=2.0)
+        assert [policy.backoff_ms(i) for i in range(3)] == [5.0, 10.0, 20.0]
+
+
+class TestGuardChainContainment:
+    class CrashingGuard:
+        def __call__(self, query, candidate, native_plan):
+            raise RuntimeError("guard bug")
+
+        def record(self, query, candidate, latency_ms, native_latency_ms):
+            raise RuntimeError("feedback bug")
+
+    class SwapGuard:
+        def __init__(self, optimizer):
+            self.optimizer = optimizer
+
+        def __call__(self, query, candidate, native_plan):
+            return CandidatePlan(plan=native_plan, source="swap")
+
+    def test_crashing_guard_abstains(self, stats_db, stats_optimizer):
+        from repro.regression import GuardChain
+
+        chain = GuardChain(self.CrashingGuard(), self.SwapGuard(stats_optimizer))
+        q = WorkloadGenerator(stats_db, seed=185).random_query(
+            2, 3, require_predicate=True
+        )
+        native_plan = stats_optimizer.plan(q)
+        candidate = CandidatePlan(plan=native_plan, source="learned")
+        out = chain(q, candidate, native_plan)
+        # First guard crashed (contained); second still ran and swapped.
+        assert out.source == "swap"
+        assert chain.errors == 1
+        assert chain.last_errors[0][0] == "CrashingGuard"
+
+    def test_feedback_containment(self, stats_db, stats_optimizer):
+        from repro.regression import GuardChain
+
+        chain = GuardChain(self.CrashingGuard())
+        q = WorkloadGenerator(stats_db, seed=186).random_query(
+            2, 3, require_predicate=True
+        )
+        plan = stats_optimizer.plan(q)
+        chain.record(q, CandidatePlan(plan=plan, source="x"), 1.0, 1.0)
+        assert chain.errors == 1
+
+    def test_loop_survives_crashing_learned_and_guard(
+        self, stats_db, stats_optimizer
+    ):
+        class CrashingLearned:
+            def __init__(self):
+                self.calls = 0
+
+            def choose_plan(self, query):
+                self.calls += 1
+                if self.calls % 3 == 0:
+                    raise RuntimeError("inference crashed")
+                plan = stats_optimizer.plan(query)
+                return CandidatePlan(plan=plan, source="learned")
+
+            def record_feedback(self, query, candidate, latency_ms):
+                pass
+
+        sim = ExecutionSimulator(stats_db)
+        workload = WorkloadGenerator(stats_db, seed=187).workload(
+            12, 2, 3, require_predicate=True
+        )
+        loop = OptimizationLoop(
+            CrashingLearned(), sim, stats_optimizer,
+            guard=self.CrashingGuard(),
+        )
+        results = loop.run(workload)
+        assert len(results) == 12
+        assert loop.fallbacks == 4  # every 3rd choose_plan crashed
+        assert loop.guard_errors == 24  # 12 decision + 12 feedback crashes
+        assert sum(r.source == "native:fallback" for r in results) == 4
+
+    def test_degrade_disabled_propagates(self, stats_db, stats_optimizer):
+        class Crashing:
+            def choose_plan(self, query):
+                raise RuntimeError("boom")
+
+            def record_feedback(self, *a):
+                pass
+
+        sim = ExecutionSimulator(stats_db)
+        loop = OptimizationLoop(
+            Crashing(), sim, stats_optimizer, degrade_on_error=False
+        )
+        q = WorkloadGenerator(stats_db, seed=188).random_query(
+            2, 3, require_predicate=True
+        )
+        with pytest.raises(RuntimeError):
+            loop.run_query(q)
+
+
+class TestServeChaos:
+    def test_chaos_workload_completes_every_query(self):
+        from repro.serve import chaos_scenario
+
+        scenario = chaos_scenario(seed=0, n_queries=80, scale=0.25)
+        report = scenario.run()
+        assert report.n_served == report.n_requests
+        assert report.rejected == {}
+        assert scenario.injector.total_injected() > 0
+
+    def test_chaos_never_serves_a_broken_plan(self):
+        from repro.serve import chaos_scenario
+
+        scenario = chaos_scenario(seed=2, n_queries=60, scale=0.25)
+        report = scenario.run()
+        for outcome in report.outcomes:
+            # Every served query carries a finite latency, a plan source
+            # from the ladder, and a real cardinality -- injected NaN /
+            # garbage estimates never surface to the client.
+            assert np.isfinite(outcome.latency_ms)
+            assert outcome.latency_ms >= 0.0
+            assert outcome.cardinality >= 0
+            assert outcome.plan_source != ""
+
+    def test_chaos_telemetry_deterministic_across_runs(self):
+        from repro.serve import chaos_scenario
+
+        exports = []
+        for _ in range(2):
+            scenario = chaos_scenario(seed=5, n_queries=60, scale=0.25)
+            scenario.run()
+            exports.append(scenario.deployment.telemetry.to_json())
+        assert exports[0] == exports[1]
+
+    def test_breaker_trips_trigger_rollback(self):
+        from repro.faults import FaultPlan, FaultSpec
+        from repro.serve import chaos_scenario
+
+        # The learned optimizer crashes on every call: the deployment
+        # breaker must trip and, with the trigger armed, roll the model
+        # back -- after which the run still completes natively.
+        plan = FaultPlan(
+            (FaultSpec(kind="exception", rate=1.0, target="learned"),),
+            seed=0,
+        )
+        scenario = chaos_scenario(
+            seed=4,
+            n_queries=60,
+            scale=0.25,
+            plan=plan,
+            canary_fraction=1.0,
+            rollback_after_trips=1,
+        )
+        report = scenario.run()
+        assert report.n_served == report.n_requests
+        assert scenario.deployment.stage.value == "rolled_back"
+        events = scenario.deployment.telemetry.events("stage_transition")
+        assert any("breaker_trips" in e["reason"] for e in events)
+
+    def test_fault_counters_on_bus_match_injector(self):
+        from repro.serve import chaos_scenario
+
+        scenario = chaos_scenario(seed=6, n_queries=60, scale=0.25)
+        scenario.run()
+        snap = scenario.deployment.telemetry.snapshot()
+        total_on_bus = sum(
+            v
+            for k, v in snap["counters"].items()
+            if k.startswith("faults.injected.")
+        )
+        assert total_on_bus == scenario.injector.total_injected()
