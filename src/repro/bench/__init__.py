@@ -14,6 +14,7 @@ EXPERIMENTS.md); this package provides their shared machinery:
 from repro.bench.report import (
     render_cache_stats,
     render_fault_stats,
+    render_lifecycle_stats,
     render_table,
 )
 from repro.bench.io import load_workload, save_workload
@@ -36,6 +37,7 @@ __all__ = [
     "render_table",
     "render_cache_stats",
     "render_fault_stats",
+    "render_lifecycle_stats",
     "save_workload",
     "load_workload",
     "WorkloadSpec",

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
-__all__ = ["render_table", "render_cache_stats", "render_fault_stats"]
+__all__ = [
+    "render_table",
+    "render_cache_stats",
+    "render_fault_stats",
+    "render_lifecycle_stats",
+]
 
 
 def _fmt(value) -> str:
@@ -92,3 +97,19 @@ def render_fault_stats(
         rows,
         note=", ".join(x for x in (extras, note) if x) or None,
     )
+
+
+def render_lifecycle_stats(
+    stats: dict, *, title: str = "model lifecycle", note: str | None = None
+) -> str:
+    """Render :func:`repro.lifecycle.lifecycle_stats` output: a nested
+    ``{"scheduler": {...}, "registry": {...}, "store": {...}}`` block as
+    one (component, stat, value) row per counter, in sorted order."""
+    rows = [
+        (component, key, stats[component][key])
+        for component in sorted(stats)
+        for key in sorted(stats[component])
+    ]
+    if not rows:
+        rows = [("-", "-", 0)]
+    return render_table(title, ["component", "stat", "value"], rows, note=note)

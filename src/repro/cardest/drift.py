@@ -75,13 +75,20 @@ class DDUpDetector:
         retrain_js: float = 0.06,
         sample: int = 2000,
         seed: int = 0,
+        telemetry=None,
     ) -> None:
+        """``telemetry`` is an optional :class:`repro.serve.TelemetryBus`
+        (duck-typed: anything with ``event``/``incr``): every
+        :meth:`check` emits its :class:`DriftReport`\\ s as
+        ``drift_report`` events plus ``drift.*`` counters, so detections
+        and triage actions are observable instead of silently returned."""
         self.db = db
         self.n_bins = n_bins
         self.stage1_z = stage1_z
         self.fine_tune_js = fine_tune_js
         self.retrain_js = retrain_js
         self.sample = sample
+        self.telemetry = telemetry
         self._rng = np.random.default_rng(seed)
         self._reference: dict[str, dict[str, dict]] = {}
         self.snapshot()
@@ -142,8 +149,24 @@ class DDUpDetector:
         return DriftReport(table, True, max_z, max_js, action)
 
     def check(self) -> list[DriftReport]:
-        """Drift reports for every snapshotted table."""
-        return [self.check_table(t) for t in self._reference]
+        """Drift reports for every snapshotted table (emitted as telemetry
+        ``drift_report`` events when a bus is attached)."""
+        reports = [self.check_table(t) for t in self._reference]
+        if self.telemetry is not None:
+            self.telemetry.incr("drift.checks")
+            for r in reports:
+                if r.drifted:
+                    self.telemetry.incr("drift.detected")
+                    self.telemetry.incr(f"drift.action.{r.action}")
+                    self.telemetry.event(
+                        "drift_report",
+                        table=r.table,
+                        drifted=r.drifted,
+                        stage1_score=round(r.stage1_score, 6),
+                        stage2_divergence=round(r.stage2_divergence, 6),
+                        action=r.action,
+                    )
+        return reports
 
     def drifted_tables(self) -> list[str]:
         return [r.table for r in self.check() if r.drifted]
@@ -168,17 +191,34 @@ class Warper:
         queries_per_table: int = 60,
         keep_old: int = 200,
         seed: int = 0,
+        telemetry=None,
+        experience=None,
+        history: list[tuple[Query, float]] | None = None,
     ) -> None:
+        """``telemetry`` (optional bus) makes every adaptation observable
+        (``warper_adapt`` events, ``drift.warper_*`` counters);
+        ``experience`` (optional :class:`repro.lifecycle.ExperienceStore`)
+        receives the generated drift queries with their exact labels, so
+        the lifecycle loop retains what the model was adapted on;
+        ``history`` seeds the retained-example buffer without an initial
+        :meth:`fit_initial` (used when adapting a cloned estimator that
+        was trained elsewhere)."""
         if not hasattr(estimator, "fit"):
             raise TypeError("Warper needs a supervised estimator with .fit")
         self.db = db
         self.estimator = estimator
-        self.detector = detector if detector is not None else DDUpDetector(db, seed=seed)
+        self.detector = (
+            detector
+            if detector is not None
+            else DDUpDetector(db, seed=seed, telemetry=telemetry)
+        )
         self.queries_per_table = queries_per_table
         self.keep_old = keep_old
         self.seed = seed
+        self.telemetry = telemetry
+        self.experience = experience
         self._executor = CardinalityExecutor(db)
-        self._history: list[tuple[Query, float]] = []
+        self._history: list[tuple[Query, float]] = list(history or [])
         self.adaptations = 0
 
     def fit_initial(self, queries: list[Query], cards: np.ndarray) -> None:
@@ -218,4 +258,16 @@ class Warper:
         self._history = list(zip(queries, cards.tolist()))
         self.detector.snapshot()  # the new state becomes the reference
         self.adaptations += 1
+        if self.experience is not None:
+            self.experience.add_drift_queries(new_queries, new_cards)
+        if self.telemetry is not None:
+            self.telemetry.incr("drift.warper_adaptations")
+            self.telemetry.incr("drift.warper_queries", by=len(new_queries))
+            self.telemetry.event(
+                "warper_adapt",
+                tables=",".join(sorted(drifted)),
+                new_queries=len(new_queries),
+                retained=len(retained),
+                adaptation=self.adaptations,
+            )
         return reports

@@ -14,6 +14,7 @@ from repro.core.interfaces import (
     CostEstimator,
     InjectedCardinalities,
     LatencyPredictor,
+    Retrainable,
     ScaledCardinalities,
 )
 from repro.core.framework import (
@@ -29,6 +30,7 @@ __all__ = [
     "CostEstimator",
     "InjectedCardinalities",
     "LatencyPredictor",
+    "Retrainable",
     "ScaledCardinalities",
     "CandidatePlan",
     "LearnedOptimizer",

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol, Sequence, runtime_checkable
 
+from repro.core.interfaces import Retrainable
 from repro.engine.plans import Plan
 from repro.sql.query import Query
 
@@ -57,16 +58,20 @@ class PlanExplorationStrategy(Protocol):
         ...
 
 
-class RiskModel(Protocol):
-    """Scores candidates (lower = better) and learns from feedback."""
+@runtime_checkable
+class RiskModel(Retrainable, Protocol):
+    """Scores candidates (lower = better) and learns from feedback.
+
+    Extends :class:`repro.core.interfaces.Retrainable`: the ``retrain``
+    half is the shared surface the lifecycle scheduler drives, so a risk
+    model (or a whole :class:`LearnedOptimizer`) can be cloned and refit
+    without the scheduler knowing which strategy it is.
+    """
 
     def scores(self, candidates: Sequence[CandidatePlan]) -> list[float]:
         ...
 
     def observe(self, candidate: CandidatePlan, latency_ms: float) -> None:
-        ...
-
-    def retrain(self) -> None:
         ...
 
 
@@ -130,5 +135,12 @@ class LearnedOptimizer:
             self._since_retrain = 0
 
     def retrain(self) -> None:
-        self.risk_model.retrain()
+        """Refit the risk model; the optimizer itself is :class:`Retrainable`.
+
+        Routed through the :class:`repro.core.interfaces.Retrainable`
+        surface of the risk model, so the lifecycle scheduler can drive a
+        whole optimizer or a bare risk model interchangeably.
+        """
+        retrainable: Retrainable = self.risk_model
+        retrainable.retrain()
         self._since_retrain = 0

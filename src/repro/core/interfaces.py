@@ -39,6 +39,7 @@ __all__ = [
     "CardinalityEstimator",
     "CostEstimator",
     "LatencyPredictor",
+    "Retrainable",
     "InjectedCardinalities",
     "ScaledCardinalities",
     "subquery_key",
@@ -53,6 +54,25 @@ class CardinalityEstimator(Protocol):
 
     def estimate(self, query: Query) -> float:
         """Estimated COUNT(*) of the query (>= 0)."""
+        ...
+
+
+@runtime_checkable
+class Retrainable(Protocol):
+    """Anything the retraining scheduler can drive uniformly.
+
+    The single retraining surface in the repository: the framework's
+    :class:`repro.core.framework.RiskModel` extends it, every e2e
+    optimizer (``LearnedOptimizer`` and its Neo/LEON/Bao/... subclasses)
+    satisfies it, and :class:`repro.lifecycle.RetrainingScheduler`'s
+    default retrainer requires it of the champion's clone.  ``retrain``
+    refits the component from whatever experience it has accumulated; it
+    must be a no-op (not an error) when too little has.  Components that
+    support a cheaper incremental update may additionally expose
+    ``fine_tune()``; callers fall back to ``retrain`` when absent.
+    """
+
+    def retrain(self) -> None:
         ...
 
 

@@ -57,6 +57,7 @@ class OptimizationLoop:
         *,
         guard=None,
         degrade_on_error: bool = True,
+        experience=None,
     ) -> None:
         """``guard`` optionally wraps plan selection (see
         :mod:`repro.regression`): it is called as
@@ -68,12 +69,18 @@ class OptimizationLoop:
         the native plan (source ``"native:fallback"``) or the guard is
         treated as abstaining, and the failure is counted in
         :attr:`fallbacks` / :attr:`guard_errors`.  Set ``False`` to let
-        failures propagate (debugging)."""
+        failures propagate (debugging).
+
+        ``experience`` is an optional
+        :class:`repro.lifecycle.ExperienceStore`; every
+        :class:`EpisodeResult` is ingested into it, which is how offline
+        training loops feed the continuous-retraining pipeline."""
         self.learned = learned
         self.simulator = simulator
         self.native = native
         self.guard = guard
         self.degrade_on_error = degrade_on_error
+        self.experience = experience
         self.results: list[EpisodeResult] = []
         self.fallbacks = 0  # learned failures served natively
         self.guard_errors = 0  # contained guard exceptions
@@ -118,6 +125,8 @@ class OptimizationLoop:
             native_latency_ms=native_latency,
         )
         self.results.append(result)
+        if self.experience is not None:
+            self.experience.add_episode(result)
         return result
 
     def run(self, queries: list[Query]) -> list[EpisodeResult]:

@@ -1,0 +1,69 @@
+"""Model lifecycle: experience store, registry, retraining loop, gates.
+
+The tutorial's deployment story ends where most learned-optimizer papers
+stop: the model is trained once and benchmarked.  This package is the
+*rest* of the lifecycle -- the machinery that keeps a deployed model
+honest as data and workloads drift:
+
+- :mod:`~repro.lifecycle.experience` -- a bounded, seeded
+  :class:`ExperienceStore` accumulating execution feedback from the
+  offline loop, the serving path and the Warper's drift queries;
+- :mod:`~repro.lifecycle.registry` -- a :class:`ModelRegistry` of
+  content-hashed immutable :class:`ModelVersion`\\ s with full lineage
+  (parent, trigger, training-data snapshot, gate verdicts, deployment
+  stage history);
+- :mod:`~repro.lifecycle.scheduler` -- a virtual-time
+  :class:`RetrainingScheduler` composing drift (DDUp), accuracy
+  (rolling q-error) and cadence triggers into a clone-retrain-gate
+  policy that never mutates the serving champion;
+- :mod:`~repro.lifecycle.gates` -- the :class:`EvalGate` that evaluates
+  every challenger head-to-head against the champion on held-out
+  queries before it may enter staged deployment (always at SHADOW);
+- :mod:`~repro.lifecycle.scenario` -- the assembled closed loop
+  (:func:`drift_recovery_scenario`) that drifts the database mid-stream
+  and recovers, deterministically per seed.
+"""
+
+from repro.lifecycle.experience import ExperienceRecord, ExperienceStore
+from repro.lifecycle.gates import EvalGate, GateReport
+from repro.lifecycle.registry import ModelRegistry, ModelVersion, model_fingerprint
+from repro.lifecycle.scenario import (
+    EstimatorSteeredOptimizer,
+    LifecycleBackend,
+    LifecycleScenario,
+    drift_recovery_scenario,
+    lifecycle_stats,
+)
+from repro.lifecycle.scheduler import (
+    CadenceTrigger,
+    DriftTrigger,
+    QErrorTrigger,
+    RetrainOutcome,
+    RetrainingScheduler,
+    TriggerDecision,
+    clone_model,
+    default_retrainer,
+)
+
+__all__ = [
+    "ExperienceRecord",
+    "ExperienceStore",
+    "EvalGate",
+    "GateReport",
+    "ModelRegistry",
+    "ModelVersion",
+    "model_fingerprint",
+    "EstimatorSteeredOptimizer",
+    "LifecycleBackend",
+    "LifecycleScenario",
+    "drift_recovery_scenario",
+    "lifecycle_stats",
+    "CadenceTrigger",
+    "DriftTrigger",
+    "QErrorTrigger",
+    "RetrainOutcome",
+    "RetrainingScheduler",
+    "TriggerDecision",
+    "clone_model",
+    "default_retrainer",
+]

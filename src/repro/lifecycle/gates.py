@@ -1,0 +1,199 @@
+"""Champion-vs-challenger evaluation gate.
+
+Lehmann et al.'s core warning is that learned optimizers are deployed on
+the strength of *aggregate* benchmarks while regressing badly on
+individual queries.  :class:`EvalGate` is the pre-deployment defence: a
+retrained challenger is evaluated head-to-head against the current
+champion on a **held-out workload** (never the experience data it was
+trained on), and only a challenger that is no worse on every guarded
+axis is allowed to enter staged deployment -- and then only at SHADOW,
+where :class:`~repro.serve.deployment.DeploymentManager` watches it on
+live traffic before any promotion.
+
+Guarded axes (each with an explicit threshold):
+
+- **latency quantiles** -- challenger p50/p95 plan latency must stay
+  within ``max_p50_ratio`` / ``max_p95_ratio`` of the champion's;
+- **estimation accuracy** -- challenger q-error quantile must stay within
+  ``max_qerror_ratio`` of the champion's;
+- **per-query regressions** -- the fraction of held-out queries where the
+  challenger's plan is more than ``regression_margin`` slower than the
+  champion's must stay below ``max_regression_rate`` (the tail-latency
+  axis aggregate ratios hide).
+
+Everything is recomputed at evaluation time with the deterministic
+simulator/executor, so the gate's verdict is reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+
+__all__ = ["GateReport", "EvalGate"]
+
+
+@dataclass(frozen=True)
+class GateReport:
+    """Verdict plus the evidence it was based on."""
+
+    passed: bool
+    reasons: tuple[str, ...]  # failure reasons; empty when passed
+    champion: dict
+    challenger: dict
+
+    def to_dict(self) -> dict:
+        return {
+            "passed": self.passed,
+            "reasons": list(self.reasons),
+            "champion": self.champion,
+            "challenger": self.challenger,
+        }
+
+
+def _estimator_of(model):
+    """The cardinality-estimating surface of a model, if it has one."""
+    if hasattr(model, "estimate"):
+        return model
+    return getattr(model, "estimator", None)
+
+
+class EvalGate:
+    """Head-to-head champion/challenger evaluation on held-out queries.
+
+    Parameters
+    ----------
+    queries:
+        The held-out workload.  Must be disjoint from the experience
+        stream for the verdict to mean anything; the lifecycle scenario
+        splits its generated workload up front.
+    simulator:
+        Optional :class:`repro.engine.simulator.ExecutionSimulator`; when
+        given, each model must expose ``choose_plan(query)`` and the gate
+        measures plan latencies.  When None the latency axes are skipped.
+    executor:
+        Optional :class:`repro.engine.executor.CardinalityExecutor`; when
+        given, models exposing an estimator surface (``estimate`` on the
+        model or ``model.estimator``) are scored on q-error against the
+        executor's exact cardinalities.  When None the accuracy axis is
+        skipped.
+    """
+
+    def __init__(
+        self,
+        queries,
+        *,
+        simulator=None,
+        executor=None,
+        max_p50_ratio: float = 1.10,
+        max_p95_ratio: float = 1.20,
+        max_qerror_ratio: float = 1.25,
+        qerror_quantile: float = 0.9,
+        max_regression_rate: float = 0.20,
+        regression_margin: float = 1.25,
+        telemetry=None,
+    ) -> None:
+        self.queries = list(queries)
+        if not self.queries:
+            raise ConfigError("eval gate needs a non-empty held-out workload")
+        if simulator is None and executor is None:
+            raise ConfigError("eval gate needs a simulator or an executor")
+        self.simulator = simulator
+        self.executor = executor
+        self.max_p50_ratio = max_p50_ratio
+        self.max_p95_ratio = max_p95_ratio
+        self.max_qerror_ratio = max_qerror_ratio
+        self.qerror_quantile = qerror_quantile
+        self.max_regression_rate = max_regression_rate
+        self.regression_margin = regression_margin
+        self.telemetry = telemetry
+        self.evaluations = 0
+
+    # -- measurement -----------------------------------------------------------
+
+    def _latencies(self, model) -> np.ndarray:
+        lats = []
+        for q in self.queries:
+            plan = model.choose_plan(q).plan
+            lats.append(self.simulator.execute(plan).latency_ms)
+        return np.array(lats)
+
+    def _qerrors(self, model) -> np.ndarray | None:
+        est = _estimator_of(model)
+        if est is None:
+            return None
+        errs = []
+        for q in self.queries:
+            e = max(float(est.estimate(q)), 1.0)
+            t = max(float(self.executor.cardinality(q)), 1.0)
+            errs.append(max(e / t, t / e))
+        return np.array(errs)
+
+    def _metrics(self, model) -> tuple[dict, np.ndarray | None]:
+        metrics: dict = {"n_queries": len(self.queries)}
+        lats = None
+        if self.simulator is not None:
+            lats = self._latencies(model)
+            metrics["p50_latency_ms"] = round(float(np.percentile(lats, 50)), 6)
+            metrics["p95_latency_ms"] = round(float(np.percentile(lats, 95)), 6)
+        if self.executor is not None:
+            qerrs = self._qerrors(model)
+            if qerrs is not None:
+                metrics["qerror_q"] = round(
+                    float(np.quantile(qerrs, self.qerror_quantile)), 6
+                )
+                metrics["qerror_max"] = round(float(qerrs.max()), 6)
+        return metrics, lats
+
+    # -- verdict ---------------------------------------------------------------
+
+    def evaluate(self, champion, challenger) -> GateReport:
+        """Compare the two models; the challenger passes only if it stays
+        within every configured ratio of the champion."""
+        champ_metrics, champ_lats = self._metrics(champion)
+        chall_metrics, chall_lats = self._metrics(challenger)
+        reasons: list[str] = []
+
+        def ratio_check(key: str, limit: float, label: str) -> None:
+            a, b = champ_metrics.get(key), chall_metrics.get(key)
+            if a is None or b is None:
+                return
+            ratio = b / max(a, 1e-9)
+            if ratio > limit:
+                reasons.append(f"{label} ratio {ratio:.3f} > {limit:g}")
+
+        ratio_check("p50_latency_ms", self.max_p50_ratio, "p50 latency")
+        ratio_check("p95_latency_ms", self.max_p95_ratio, "p95 latency")
+        ratio_check("qerror_q", self.max_qerror_ratio, "q-error")
+        if champ_lats is not None and chall_lats is not None:
+            regressed = chall_lats > champ_lats * self.regression_margin
+            rate = float(regressed.mean())
+            chall_metrics["regression_rate"] = round(rate, 6)
+            if rate > self.max_regression_rate:
+                reasons.append(
+                    f"regression rate {rate:.3f} > {self.max_regression_rate:g}"
+                )
+        report = GateReport(
+            passed=not reasons,
+            reasons=tuple(reasons),
+            champion=champ_metrics,
+            challenger=chall_metrics,
+        )
+        self.evaluations += 1
+        if self.telemetry is not None:
+            self.telemetry.incr(
+                "gate.passed" if report.passed else "gate.failed"
+            )
+            self.telemetry.event(
+                "gate_evaluated",
+                passed=report.passed,
+                reasons=";".join(reasons),
+                champion_p50=champ_metrics.get("p50_latency_ms", 0.0),
+                challenger_p50=chall_metrics.get("p50_latency_ms", 0.0),
+                champion_qerror=champ_metrics.get("qerror_q", 0.0),
+                challenger_qerror=chall_metrics.get("qerror_q", 0.0),
+            )
+        return report

@@ -1,0 +1,346 @@
+"""The closed-loop lifecycle scenario: drift, detect, retrain, recover.
+
+This is the assembly that proves the lifecycle subsystem closes the
+training loop end to end, and the subject of
+``benchmarks/bench_p4_lifecycle.py``:
+
+1. a GBDT query-driven estimator is trained on an initial workload and
+   deployed LIVE steering the native planner
+   (:class:`EstimatorSteeredOptimizer`), registered as the champion;
+2. traffic flows through the :class:`~repro.serve.runtime.ServingRuntime`;
+   every serve feeds the experience store, the q-error trigger and the
+   scheduler's virtual clock (:class:`LifecycleBackend`);
+3. halfway through the stream the runtime's deterministic hook mutates
+   the database (:func:`repro.bench.workloads.apply_drift`) -- the frozen
+   estimator's q-error degrades because its estimates describe data that
+   no longer exists;
+4. the scheduler's :class:`~repro.lifecycle.scheduler.DriftTrigger` /
+   :class:`~repro.lifecycle.scheduler.QErrorTrigger` fire; the champion is
+   *cloned* and the clone adapted by a :class:`~repro.cardest.drift.Warper`
+   on drift-targeted, exactly-labelled queries;
+5. the challenger passes the :class:`~repro.lifecycle.gates.EvalGate`
+   against the stale champion on a held-out workload, enters deployment at
+   SHADOW, and auto-promotes to LIVE -- becoming the new champion in the
+   :class:`~repro.lifecycle.registry.ModelRegistry`.
+
+With ``closed_loop=False`` the identical stream runs with no triggers:
+the frozen baseline whose post-drift q-error the benchmark compares
+against.  Everything is virtual-time and seeded, so two same-seed runs
+export byte-identical registry and telemetry JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.workloads import apply_drift
+from repro.cardest.drift import DDUpDetector, Warper
+from repro.cardest.querydriven import GBDTQueryEstimator
+from repro.core.framework import CandidatePlan
+from repro.engine.executor import CardinalityExecutor
+from repro.engine.simulator import ExecutionSimulator
+from repro.lifecycle.experience import ExperienceStore
+from repro.lifecycle.gates import EvalGate
+from repro.lifecycle.registry import ModelRegistry
+from repro.lifecycle.scheduler import (
+    CadenceTrigger,
+    DriftTrigger,
+    QErrorTrigger,
+    RetrainingScheduler,
+    clone_model,
+)
+from repro.optimizer.planner import Optimizer
+from repro.serve.deployment import DeploymentManager, Stage
+from repro.serve.runtime import (
+    Request,
+    RunReport,
+    RuntimeConfig,
+    ServingRuntime,
+    build_schedule,
+)
+from repro.serve.telemetry import TelemetryBus
+from repro.sql.generator import WorkloadGenerator
+from repro.sql.query import Query
+from repro.storage.catalog import Database
+from repro.storage.datasets import make_stats_lite
+
+__all__ = [
+    "EstimatorSteeredOptimizer",
+    "LifecycleBackend",
+    "LifecycleScenario",
+    "drift_recovery_scenario",
+    "lifecycle_stats",
+]
+
+
+class EstimatorSteeredOptimizer:
+    """A learned optimizer that *is* its cardinality model.
+
+    The deployable unit of the lifecycle scenario: the native planner
+    steered by a learned (query-driven) estimator.  Retraining this model
+    means refitting :attr:`estimator` -- exactly what the Warper does --
+    and the model carries no feedback state of its own, so a registered
+    version's fingerprint stays stable while it serves
+    (:meth:`~repro.lifecycle.registry.ModelRegistry.verify` holds).
+    """
+
+    def __init__(
+        self, native: Optimizer, estimator, *, name: str = "steered"
+    ) -> None:
+        self.estimator = estimator
+        self.steered = native.with_estimator(estimator)
+        self.name = name
+
+    def choose_plan(self, query: Query) -> CandidatePlan:
+        return CandidatePlan(plan=self.steered.plan(query), source=self.name)
+
+    def record_feedback(self, query, candidate, latency_ms: float) -> None:
+        pass  # the estimator learns via the lifecycle loop, not per-query
+
+
+class LifecycleBackend:
+    """Serving backend that drives the lifecycle on every request.
+
+    Wraps a :class:`~repro.serve.deployment.DeploymentManager`; after each
+    serve it feeds the (estimate, true cardinality) pair to the
+    scheduler's q-error trigger and advances the scheduler's virtual clock
+    by the served latency -- so retraining fires at deterministic stream
+    positions.  Exposes the deployment's telemetry/cache surfaces, making
+    it a drop-in :class:`~repro.serve.runtime.ServingRuntime` backend.
+    """
+
+    def __init__(self, deployment: DeploymentManager, scheduler) -> None:
+        self.deployment = deployment
+        self.scheduler = scheduler
+        self.telemetry = deployment.telemetry
+
+    @property
+    def name(self) -> str:
+        return self.deployment.name
+
+    def cache_stats(self):
+        return self.deployment.cache_stats()
+
+    def serve(self, query: Query):
+        decision = self.deployment.serve(query)
+        estimator = getattr(self.deployment.learned, "estimator", None)
+        if estimator is not None and self.scheduler is not None:
+            self.scheduler.observe_qerror(
+                float(estimator.estimate(query)), float(decision.cardinality)
+            )
+        if self.scheduler is not None:
+            self.scheduler.step(decision.latency_ms)
+        return decision
+
+
+@dataclass
+class LifecycleScenario:
+    """The fully-assembled closed loop: run it, then inspect every part."""
+
+    name: str
+    db: Database
+    native: Optimizer
+    simulator: ExecutionSimulator
+    executor: CardinalityExecutor
+    telemetry: TelemetryBus
+    store: ExperienceStore
+    registry: ModelRegistry
+    detector: DDUpDetector
+    gate: EvalGate
+    deployment: DeploymentManager
+    scheduler: RetrainingScheduler
+    runtime: ServingRuntime
+    schedule: list[list[Request]]
+    holdout: list[Query]
+    drift_at: int  # global_seq of the drift hook (-1 when no drift)
+    shared: tuple = field(default_factory=tuple)
+
+    def run(self) -> RunReport:
+        return self.runtime.run(self.schedule)
+
+    @property
+    def n_requests(self) -> int:
+        return sum(len(s) for s in self.schedule)
+
+    def holdout_qerror(self, model=None, *, quantile: float = 0.9) -> float:
+        """Current q-error quantile of ``model`` (default: the deployed
+        model) on the held-out workload against *current* data."""
+        model = model if model is not None else self.deployment.learned
+        estimator = getattr(model, "estimator", model)
+        errs = []
+        for q in self.holdout:
+            e = max(float(estimator.estimate(q)), 1.0)
+            t = max(float(self.executor.cardinality(q)), 1.0)
+            errs.append(max(e / t, t / e))
+        return float(np.quantile(np.array(errs), quantile))
+
+
+def lifecycle_stats(scenario: LifecycleScenario) -> dict[str, dict]:
+    """The stat block :func:`repro.bench.report.render_lifecycle_stats`
+    renders: one dict per lifecycle component."""
+    return {
+        "scheduler": scenario.scheduler.stats(),
+        "registry": scenario.registry.stats(),
+        "store": scenario.store.stats(),
+    }
+
+
+def drift_recovery_scenario(
+    *,
+    scale: float = 0.3,
+    seed: int = 0,
+    n_queries: int = 240,
+    n_sessions: int = 6,
+    n_train: int = 120,
+    n_holdout: int = 40,
+    drift_fraction: float = 0.45,
+    closed_loop: bool = True,
+    store_capacity: int = 2_000,
+    drift_check_every: int = 20,
+    qerror_degradation: float = 3.0,
+    cadence_queries: int | None = None,
+    cooldown_queries: int = 40,
+    gate_kwargs: dict | None = None,
+    config: RuntimeConfig | None = None,
+) -> LifecycleScenario:
+    """Assemble the drift-then-recover closed loop described above.
+
+    ``closed_loop=False`` builds the *frozen baseline*: the identical
+    stack and stream but with no retraining triggers, so the champion
+    stays stale after the drift -- the control arm of the benchmark.
+    """
+    db = make_stats_lite(scale=scale, seed=seed)
+    native = Optimizer(db)
+    simulator = ExecutionSimulator(db)
+    executor = CardinalityExecutor(db)
+    telemetry = TelemetryBus()
+    # Infrastructure every model version points at but never owns: shared
+    # across clones and excluded from registry fingerprints.
+    shared = (db, native, simulator, executor, native.stats, native.cache)
+
+    # -- initial training ----------------------------------------------------
+    gen = WorkloadGenerator(db, seed=seed + 1)
+    train_queries = gen.workload(n_train, 1, 3, require_predicate=True)
+    train_cards = np.array(
+        [float(executor.cardinality(q)) for q in train_queries]
+    )
+    estimator = GBDTQueryEstimator(db, seed=seed).fit(train_queries, train_cards)
+    champion = EstimatorSteeredOptimizer(native, estimator, name="steered-gbdt")
+
+    # -- lifecycle components ------------------------------------------------
+    store = ExperienceStore(store_capacity, seed=seed)
+    registry = ModelRegistry(shared=shared, telemetry=telemetry)
+    v0 = registry.register(champion, trigger="initial", snapshot_id=store.snapshot_id())
+    detector = DDUpDetector(db, seed=seed, telemetry=telemetry)
+    holdout = WorkloadGenerator(db, seed=seed + 2).workload(
+        n_holdout, 1, 3, require_predicate=True
+    )
+    gate_params = dict(
+        max_p50_ratio=1.15,
+        max_p95_ratio=1.30,
+        max_qerror_ratio=1.25,
+        max_regression_rate=0.25,
+    )
+    gate_params.update(gate_kwargs or {})
+    gate = EvalGate(
+        holdout,
+        simulator=simulator,
+        executor=executor,
+        telemetry=telemetry,
+        **gate_params,
+    )
+    deployment = DeploymentManager(
+        champion,
+        native,
+        simulator,
+        telemetry=telemetry,
+        stage=Stage.LIVE,
+        canary_fraction=0.5,
+        window=12,
+        min_samples=6,
+        regression_threshold=5.0,
+        auto_promote=True,
+        experience=store,
+        registry=registry,
+        model_version=v0.version_id,
+    )
+    registry.record_stage(v0.version_id, "live", reason="initial")
+
+    history = list(zip(train_queries, train_cards.tolist()))
+
+    def retrainer(current, exp_store, action: str):
+        challenger = clone_model(current, shared=shared)
+        warper = Warper(
+            db,
+            challenger.estimator,
+            detector=detector,
+            queries_per_table=40,
+            keep_old=len(history),
+            seed=seed + 3,
+            telemetry=telemetry,
+            experience=exp_store,
+            history=history,
+        )
+        warper.adapt()
+        return challenger
+
+    triggers: list = []
+    if closed_loop:
+        triggers.append(
+            DriftTrigger(detector, check_every=drift_check_every, store=store)
+        )
+        triggers.append(
+            QErrorTrigger(
+                degradation=qerror_degradation, window=48, min_samples=24, quantile=0.9
+            )
+        )
+        if cadence_queries is not None:
+            triggers.append(CadenceTrigger(every_queries=cadence_queries))
+    scheduler = RetrainingScheduler(
+        registry,
+        store,
+        retrainer,
+        triggers=triggers,
+        gate=gate,
+        deployment=deployment,
+        telemetry=telemetry,
+        cooldown_queries=cooldown_queries,
+    )
+
+    # -- scheduled workload with the mid-stream drift hook -------------------
+    queries = WorkloadGenerator(db, seed=seed + 4).workload(
+        n_queries, 1, 3, require_predicate=True
+    )
+    schedule = build_schedule(queries, n_sessions, seed=seed)
+    backend = LifecycleBackend(deployment, scheduler)
+    drift_at = sum(len(s) for s in schedule) // 2
+
+    def _drift() -> None:
+        apply_drift(db, fraction=drift_fraction, seed=seed)
+        native.stats.refresh(db)
+        native.cache.clear()
+        executor.clear_cache()
+        telemetry.event("data_drift", at_request=drift_at, fraction=drift_fraction)
+
+    runtime = ServingRuntime(backend, config=config, hooks={drift_at: _drift})
+    return LifecycleScenario(
+        name="drift_recovery" if closed_loop else "drift_frozen",
+        db=db,
+        native=native,
+        simulator=simulator,
+        executor=executor,
+        telemetry=telemetry,
+        store=store,
+        registry=registry,
+        detector=detector,
+        gate=gate,
+        deployment=deployment,
+        scheduler=scheduler,
+        runtime=runtime,
+        schedule=schedule,
+        holdout=holdout,
+        drift_at=drift_at,
+        shared=shared,
+    )

@@ -1,0 +1,453 @@
+"""Continuous-retraining scheduler: triggers, clone-then-retrain, gating.
+
+The tutorial's maintenance story (§2.2.2) is that learned components decay
+-- data drifts (DDUp), workloads shift (Warper), and accuracy erodes -- so
+a production deployment needs a *policy* for when and how to retrain.
+:class:`RetrainingScheduler` is that policy, composed from three trigger
+families and run entirely on **virtual time** (queries served + simulated
+latency), so two same-seed runs fire at identical points:
+
+- :class:`DriftTrigger` -- periodically runs a
+  :class:`~repro.cardest.drift.DDUpDetector` check; its ``fine_tune`` /
+  ``retrain`` triage (DDUp's detect/distill/update) picks the retraining
+  *action*.
+- :class:`QErrorTrigger` -- a rolling window of observed q-errors
+  (estimate vs. post-execution true cardinality); fires when the window
+  quantile degrades past a threshold.  Pure accuracy watchdog: catches
+  decay the drift detector's table statistics miss.
+- :class:`CadenceTrigger` -- fixed every-N-queries / every-T-virtual-ms
+  fallback, the "retrain nightly regardless" policy.
+
+When any trigger fires (outside the cooldown), the scheduler **clones the
+champion** (:func:`clone_model` -- the live model is never mutated),
+retrains the clone through the injected ``retrainer`` on the experience
+store's data, registers the challenger in the
+:class:`~repro.lifecycle.registry.ModelRegistry` with full lineage, and
+hands it to the :class:`~repro.lifecycle.gates.EvalGate`.  Only a passing
+challenger reaches the :class:`~repro.serve.deployment.DeploymentManager`
+-- and always at SHADOW, never straight to LIVE.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.errors import ConfigError
+
+__all__ = [
+    "TriggerDecision",
+    "CadenceTrigger",
+    "QErrorTrigger",
+    "DriftTrigger",
+    "RetrainOutcome",
+    "RetrainingScheduler",
+    "clone_model",
+    "default_retrainer",
+]
+
+
+def clone_model(model, *, shared=()):
+    """Deep-copy ``model`` while *sharing* the infrastructure in ``shared``.
+
+    The memo is pre-seeded so the database, native optimizer, simulator
+    etc. are referenced, not duplicated -- both because copying a database
+    is wasteful and because infrastructure may hold uncopyable state
+    (locks).  The returned clone is safe to retrain without touching the
+    champion.
+    """
+    memo = {id(o): o for o in shared}
+    return copy.deepcopy(model, memo)
+
+
+@dataclass(frozen=True)
+class TriggerDecision:
+    """One trigger's verdict at a scheduler step."""
+
+    fired: bool
+    reason: str  # e.g. "drift:orders", "qerror_p90=41.2", "cadence"
+    action: str = "retrain"  # "fine_tune" | "retrain"
+
+
+class CadenceTrigger:
+    """Fires every ``every_queries`` served or ``every_ms`` virtual time."""
+
+    name = "cadence"
+
+    def __init__(
+        self, *, every_queries: int | None = None, every_ms: float | None = None
+    ) -> None:
+        if every_queries is None and every_ms is None:
+            raise ConfigError("cadence trigger needs every_queries or every_ms")
+        self.every_queries = every_queries
+        self.every_ms = every_ms
+        self._last_queries = 0
+        self._last_ms = 0.0
+
+    def observe(self, estimate: float, truth: float) -> None:  # uniform surface
+        pass
+
+    def check(self, ctx: "SchedulerContext") -> TriggerDecision:
+        if (
+            self.every_queries is not None
+            and ctx.queries - self._last_queries >= self.every_queries
+        ):
+            self._last_queries = ctx.queries
+            self._last_ms = ctx.virtual_ms
+            return TriggerDecision(True, f"cadence:{self.every_queries}q", "fine_tune")
+        if self.every_ms is not None and ctx.virtual_ms - self._last_ms >= self.every_ms:
+            self._last_queries = ctx.queries
+            self._last_ms = ctx.virtual_ms
+            return TriggerDecision(True, f"cadence:{self.every_ms}ms", "fine_tune")
+        return TriggerDecision(False, "cadence:idle")
+
+    def reset(self, ctx: "SchedulerContext") -> None:
+        """Re-arm after any retraining (cadence counts from the last one)."""
+        self._last_queries = ctx.queries
+        self._last_ms = ctx.virtual_ms
+
+
+class QErrorTrigger:
+    """Fires when the rolling q-error quantile *degrades* relative to the
+    model's own baseline.
+
+    Absolute q-error is a property of the workload as much as of the
+    model (join-heavy queries are simply harder), so a fixed threshold
+    either never fires or fires on day one.  The trigger instead captures
+    a **baseline**: the window quantile the first time the window fills
+    after (re)deployment.  It fires when the current quantile exceeds
+    ``baseline * degradation`` -- i.e. the model got materially worse than
+    *itself* -- or, optionally, an absolute ``ceiling``.
+    """
+
+    name = "qerror"
+
+    def __init__(
+        self,
+        *,
+        degradation: float = 3.0,
+        ceiling: float | None = None,
+        window: int = 64,
+        min_samples: int = 32,
+        quantile: float = 0.9,
+    ) -> None:
+        if degradation <= 1.0:
+            raise ConfigError("q-error degradation factor must be > 1")
+        self.degradation = degradation
+        self.ceiling = ceiling
+        self.window = window
+        self.min_samples = min_samples
+        self.quantile = quantile
+        self._errors: list[float] = []
+        self.baseline: float | None = None
+
+    def observe(self, estimate: float, truth: float) -> None:
+        e = max(estimate, 1.0)
+        t = max(truth, 1.0)
+        self._errors.append(max(e / t, t / e))
+        if len(self._errors) > self.window:
+            del self._errors[: len(self._errors) - self.window]
+
+    def current(self) -> float:
+        if not self._errors:
+            return 1.0
+        return float(np.quantile(np.array(self._errors), self.quantile))
+
+    def check(self, ctx: "SchedulerContext") -> TriggerDecision:
+        if len(self._errors) < self.min_samples:
+            return TriggerDecision(False, "qerror:warming")
+        q = self.current()
+        if self.baseline is None:
+            self.baseline = q  # the model's own healthy level
+            return TriggerDecision(False, f"qerror_baseline={q:.1f}")
+        if q >= self.baseline * self.degradation or (
+            self.ceiling is not None and q >= self.ceiling
+        ):
+            return TriggerDecision(
+                True,
+                f"qerror_q{self.quantile:g}={q:.1f}(base={self.baseline:.1f})",
+                "retrain",
+            )
+        return TriggerDecision(False, f"qerror_q{self.quantile:g}={q:.1f}")
+
+    def reset(self, ctx: "SchedulerContext") -> None:
+        """Clear window and baseline: the new model earns its own record."""
+        self._errors.clear()
+        self.baseline = None
+
+
+class DriftTrigger:
+    """Runs a DDUp drift check every ``check_every`` queries.
+
+    The detector's triage picks the action: any table scoring ``retrain``
+    escalates the whole decision to a full retrain, otherwise the drift is
+    handled with a fine-tune.  On detection the experience ``store`` (when
+    given) is drift-tagged so subsequently ingested records carry the flag.
+    """
+
+    name = "drift"
+
+    def __init__(self, detector, *, check_every: int = 100, store=None) -> None:
+        self.detector = detector
+        self.check_every = check_every
+        self.store = store
+        self._last_check = 0
+        self.detections = 0
+
+    def observe(self, estimate: float, truth: float) -> None:
+        pass
+
+    def check(self, ctx: "SchedulerContext") -> TriggerDecision:
+        if ctx.queries - self._last_check < self.check_every:
+            return TriggerDecision(False, "drift:idle")
+        self._last_check = ctx.queries
+        reports = self.detector.check()
+        drifted = [r for r in reports if r.drifted]
+        if not drifted:
+            return TriggerDecision(False, "drift:clean")
+        self.detections += 1
+        if self.store is not None:
+            self.store.mark_drift(True)
+        action = (
+            "retrain" if any(r.action == "retrain" for r in drifted) else "fine_tune"
+        )
+        tables = ",".join(sorted(r.table for r in drifted))
+        return TriggerDecision(True, f"drift:{tables}", action)
+
+    def reset(self, ctx: "SchedulerContext") -> None:
+        self._last_check = ctx.queries
+
+
+@dataclass
+class SchedulerContext:
+    """Virtual clock shared with the triggers."""
+
+    queries: int = 0
+    virtual_ms: float = 0.0
+
+
+@dataclass(frozen=True)
+class RetrainOutcome:
+    """Result of one retraining attempt (returned by :meth:`step`)."""
+
+    version_id: str
+    parent: str | None
+    trigger: str
+    action: str  # "fine_tune" | "retrain"
+    gate_passed: bool
+    deployed: bool
+    at_query: int
+
+
+def default_retrainer(*, shared=()):
+    """A retrainer that clones the champion and calls its own
+    :class:`~repro.core.interfaces.Retrainable` surface.
+
+    Returned callable signature: ``retrainer(champion, store, action) ->
+    challenger``.  ``fine_tune`` uses the model's ``fine_tune()`` when it
+    has one and falls back to ``retrain()`` otherwise -- the protocol-level
+    contract from :mod:`repro.core.interfaces`.
+    """
+
+    def retrain(champion, store, action: str):
+        challenger = clone_model(champion, shared=shared)
+        if action == "fine_tune" and hasattr(challenger, "fine_tune"):
+            challenger.fine_tune()
+        else:
+            challenger.retrain()
+        return challenger
+
+    return retrain
+
+
+class RetrainingScheduler:
+    """Composes triggers into a clone-retrain-gate-deploy policy.
+
+    Parameters
+    ----------
+    registry, store:
+        The :class:`~repro.lifecycle.registry.ModelRegistry` holding the
+        champion lineage and the
+        :class:`~repro.lifecycle.experience.ExperienceStore` providing
+        training data.  The registry must have a champion before
+        :meth:`step` can retrain.
+    retrainer:
+        ``retrainer(champion_model, store, action) -> challenger`` --
+        MUST NOT mutate the champion (the registry's immutability check
+        will catch it if it does).  See :func:`default_retrainer`.
+    triggers:
+        Any mix of :class:`DriftTrigger`, :class:`QErrorTrigger`,
+        :class:`CadenceTrigger` (or anything with
+        ``observe``/``check``/``reset``).  A step retrains when *any*
+        trigger fires; the action escalates to ``retrain`` if any firing
+        trigger asks for it.
+    gate:
+        Optional :class:`~repro.lifecycle.gates.EvalGate`.  Without one
+        every challenger passes (useful in unit tests only).
+    deployment:
+        Optional :class:`~repro.serve.deployment.DeploymentManager`; a
+        gate-passing challenger enters it at SHADOW via
+        :meth:`~repro.serve.deployment.DeploymentManager.deploy`.  A
+        failing challenger is registered (lineage keeps the failure) but
+        never deployed.
+    cooldown_queries:
+        Minimum queries between retrainings, preventing trigger thrash.
+    """
+
+    def __init__(
+        self,
+        registry,
+        store,
+        retrainer,
+        *,
+        triggers=(),
+        gate=None,
+        deployment=None,
+        telemetry=None,
+        cooldown_queries: int = 50,
+    ) -> None:
+        self.registry = registry
+        self.store = store
+        self.retrainer = retrainer
+        self.triggers = list(triggers)
+        self.gate = gate
+        self.deployment = deployment
+        self.telemetry = telemetry
+        self.cooldown_queries = cooldown_queries
+        self.ctx = SchedulerContext()
+        self._last_retrain_at: int | None = None
+        self.outcomes: list[RetrainOutcome] = []
+        self.retrains = 0
+        self.gate_failures = 0
+        self.deploys = 0
+
+    # -- observations ----------------------------------------------------------
+
+    def observe_qerror(self, estimate: float, truth: float) -> None:
+        """Feed a per-query (estimate, true cardinality) pair to triggers."""
+        for t in self.triggers:
+            t.observe(estimate, truth)
+
+    # -- stepping --------------------------------------------------------------
+
+    def step(self, latency_ms: float = 0.0, queries: int = 1) -> RetrainOutcome | None:
+        """Advance virtual time and retrain when a trigger fires.
+
+        Returns the :class:`RetrainOutcome` when a retraining happened,
+        else None.
+        """
+        self.ctx.queries += queries
+        self.ctx.virtual_ms += latency_ms
+        if (
+            self._last_retrain_at is not None
+            and self.ctx.queries - self._last_retrain_at < self.cooldown_queries
+        ):
+            return None
+        decisions = [t.check(self.ctx) for t in self.triggers]
+        fired = [d for d in decisions if d.fired]
+        if not fired:
+            return None
+        action = "retrain" if any(d.action == "retrain" for d in fired) else "fine_tune"
+        reason = "+".join(d.reason for d in fired)
+        return self._retrain(action=action, reason=reason)
+
+    def _retrain(self, *, action: str, reason: str) -> RetrainOutcome:
+        # Retrain from the model actually deployed (it may still be mid
+        # promotion and not yet the registry champion); fall back to the
+        # registry champion when the deployment is version-agnostic.
+        parent = None
+        if self.deployment is not None:
+            parent = getattr(self.deployment, "model_version", None)
+        if parent is None:
+            parent = self.registry.champion_id
+        if parent is None:
+            raise ConfigError("scheduler cannot retrain without a champion")
+        champion = self.registry.model(parent)
+        snapshot = self.store.snapshot_id()
+        if self.telemetry is not None:
+            self.telemetry.incr("lifecycle.retrains")
+            self.telemetry.incr(f"lifecycle.action.{action}")
+            self.telemetry.event(
+                "retrain_started",
+                parent=parent,
+                action=action,
+                reason=reason,
+                at_query=self.ctx.queries,
+                snapshot=snapshot,
+            )
+        challenger = self.retrainer(champion, self.store, action)
+        if challenger is champion:
+            raise ConfigError("retrainer returned the champion itself, not a clone")
+        version = self.registry.register(
+            challenger,
+            parent=parent,
+            trigger=f"{action}:{reason}",
+            snapshot_id=snapshot,
+            created_at_ms=self.ctx.virtual_ms,
+        )
+        gate_passed = True
+        if self.gate is not None:
+            report = self.gate.evaluate(champion, challenger)
+            gate_passed = report.passed
+            self.registry.record_gate(version.version_id, report)
+        deployed = False
+        if gate_passed:
+            if self.deployment is not None:
+                self.deployment.deploy(
+                    challenger,
+                    version=version.version_id,
+                    reason=f"gate_passed:{reason}",
+                )
+                deployed = True
+                self.deploys += 1
+        else:
+            self.gate_failures += 1
+        self.retrains += 1
+        self._last_retrain_at = self.ctx.queries
+        self.store.mark_drift(False)  # drift episode handled
+        for t in self.triggers:
+            t.reset(self.ctx)
+        outcome = RetrainOutcome(
+            version_id=version.version_id,
+            parent=parent,
+            trigger=reason,
+            action=action,
+            gate_passed=gate_passed,
+            deployed=deployed,
+            at_query=self.ctx.queries,
+        )
+        self.outcomes.append(outcome)
+        if self.telemetry is not None:
+            self.telemetry.incr(
+                "lifecycle.gate_passed" if gate_passed else "lifecycle.gate_failed"
+            )
+            self.telemetry.event(
+                "retrain_finished",
+                version=version.version_id,
+                parent=parent,
+                action=action,
+                gate_passed=gate_passed,
+                deployed=deployed,
+                at_query=self.ctx.queries,
+            )
+        return outcome
+
+    def force_retrain(self, *, reason: str = "manual", action: str = "retrain"):
+        """Bypass triggers and cooldown (operational escape hatch)."""
+        return self._retrain(action=action, reason=reason)
+
+    # -- reporting -------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "queries": self.ctx.queries,
+            "virtual_ms": round(self.ctx.virtual_ms, 3),
+            "retrains": self.retrains,
+            "gate_failures": self.gate_failures,
+            "deploys": self.deploys,
+            "drift_detections": sum(
+                t.detections for t in self.triggers if isinstance(t, DriftTrigger)
+            ),
+        }

@@ -10,9 +10,11 @@ cardinalities do not change across those plannings, so a shared
 
 Keys pair :func:`repro.core.interfaces.estimator_cache_tag` (instance +
 ``estimates_version``, unwrapping steering wrappers) with the query's
-canonical ``cache_key`` text, so refits, feedback, injected overrides and
-data drift all invalidate naturally -- stale entries are simply never
-looked up again and age out of the LRU ring.
+:func:`repro.sql.query.query_hash` -- the same canonical-text digest the
+deployment manager's canary split and the experience store's dedup use, so
+the repository has exactly one query-identity scheme.  Refits, feedback,
+injected overrides and data drift all invalidate naturally -- stale
+entries are simply never looked up again and age out of the LRU ring.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Callable
 
-from repro.sql.query import Query
+from repro.sql.query import Query, query_hash
 
 __all__ = ["CardinalityCache"]
 
@@ -47,7 +49,7 @@ class CardinalityCache:
 
     def lookup(self, tag: tuple, query: Query) -> float | None:
         """Cached cardinality, or None; counts a hit or a miss either way."""
-        key = (tag, query.cache_key)
+        key = (tag, query_hash(query))
         value = self._entries.get(key)
         if value is None:
             self.misses += 1
@@ -57,7 +59,7 @@ class CardinalityCache:
         return value
 
     def insert(self, tag: tuple, query: Query, value: float) -> None:
-        key = (tag, query.cache_key)
+        key = (tag, query_hash(query))
         self._entries[key] = float(value)
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:

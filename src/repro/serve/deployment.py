@@ -30,7 +30,6 @@ stays healthy.
 from __future__ import annotations
 
 import enum
-import hashlib
 from dataclasses import dataclass
 from statistics import fmean
 
@@ -41,7 +40,7 @@ from repro.faults.resilience import BreakerState, CircuitBreaker
 from repro.optimizer.planner import Optimizer
 from repro.regression import GuardChain
 from repro.serve.telemetry import TelemetryBus
-from repro.sql.query import Query
+from repro.sql.query import Query, query_hash
 
 __all__ = ["Stage", "ServeDecision", "DeploymentManager", "query_hash"]
 
@@ -55,11 +54,6 @@ class Stage(enum.Enum):
 
 #: the transitions promote()/rollback() are allowed to make
 _PROMOTIONS = {Stage.SHADOW: Stage.CANARY, Stage.CANARY: Stage.LIVE}
-
-
-def query_hash(query: Query) -> str:
-    """Stable 12-hex-digit identity of a query's canonical text."""
-    return hashlib.sha256(query.cache_key.encode()).hexdigest()[:12]
 
 
 @dataclass(frozen=True)
@@ -118,6 +112,9 @@ class DeploymentManager:
         breaker: CircuitBreaker | None = None,
         call_timeout_ms: float | None = None,
         rollback_after_trips: int | None = 3,
+        experience=None,
+        registry=None,
+        model_version: str | None = None,
     ) -> None:
         """``breaker`` guards the learned optimizer: exceptions and
         latency-budget blow-outs from ``choose_plan`` are recorded as
@@ -128,7 +125,15 @@ class DeploymentManager:
         the trigger).  ``call_timeout_ms`` is the virtual per-call
         inference budget, checked against the learned component's
         ``last_call_latency_ms`` when it reports one (the fault injector's
-        wrappers do)."""
+        wrappers do).
+
+        ``experience`` is an optional
+        :class:`repro.lifecycle.ExperienceStore`: every serve decision is
+        ingested so the retraining loop sees exactly what production saw.
+        ``registry`` is an optional :class:`repro.lifecycle.ModelRegistry`
+        and ``model_version`` the registry version id of ``learned``; when
+        both are set, every stage transition (promotion, rollback,
+        :meth:`deploy`) is recorded back into the version's lineage."""
         if not 0.0 < canary_fraction <= 1.0:
             raise ConfigError("canary_fraction must be in (0, 1]")
         if min_samples < 1 or window < min_samples:
@@ -153,12 +158,17 @@ class DeploymentManager:
         self.breaker = breaker
         self.call_timeout_ms = call_timeout_ms
         self.rollback_after_trips = rollback_after_trips
+        self.experience = experience
+        self.registry = registry
+        self.model_version = model_version
         self.queries_served = 0
         self.learned_failures = 0
         self.degraded_serves = 0
         self._regressions: list[float] = []  # rolling, len <= window
         if hasattr(native, "cache_stats"):
             self.telemetry.attach_gauge("cardinality_cache", native.cache_stats)
+        if experience is not None and hasattr(experience, "stats"):
+            self.telemetry.attach_gauge("experience_store", experience.stats)
         if breaker is not None:
             if breaker.telemetry is None:
                 breaker.telemetry = self.telemetry
@@ -201,6 +211,50 @@ class DeploymentManager:
         )
         self.stage = to
         self._regressions.clear()
+        if self.registry is not None and self.model_version is not None:
+            self.registry.record_stage(
+                self.model_version,
+                to.value,
+                reason=reason,
+                at_query=self.queries_served,
+            )
+
+    def deploy(
+        self,
+        model,
+        *,
+        version: str | None = None,
+        stage: Stage = Stage.SHADOW,
+        reason: str = "gate_passed",
+    ) -> None:
+        """Swap in a new (gated) model, entering at ``stage``.
+
+        This is how a registry-versioned challenger that passed the
+        :class:`repro.lifecycle.EvalGate` takes over: it starts in SHADOW
+        by default -- off the serving path -- and earns promotion through
+        the same rolling-window machinery as any other staged model.  The
+        regression window resets; the previous model keeps whatever stage
+        history the registry recorded for it.  ``deploy`` also re-arms a
+        ROLLED_BACK deployment (the recovery path the lifecycle loop
+        exists to provide)."""
+        self.learned = model
+        self.name = getattr(model, "name", type(model).__name__)
+        self.model_version = version
+        self.telemetry.incr("deployment.deploys")
+        self.telemetry.event(
+            "model_deployed",
+            deployment=self.name,
+            version=version or "",
+            stage=stage.value,
+            reason=reason,
+            at_query=self.queries_served,
+        )
+        self.stage = stage
+        self._regressions.clear()
+        if self.registry is not None and version is not None:
+            self.registry.record_stage(
+                version, stage.value, reason=reason, at_query=self.queries_served
+            )
 
     # -- regression window ------------------------------------------------------------
 
@@ -400,6 +454,8 @@ class DeploymentManager:
     # -- telemetry ---------------------------------------------------------------------
 
     def _record(self, decision: ServeDecision) -> None:
+        if self.experience is not None:
+            self.experience.add_decision(decision)
         bus = self.telemetry
         bus.incr(f"serve.stage.{decision.stage}")
         bus.incr(

@@ -8,7 +8,15 @@ that query representation (:class:`repro.sql.query.Query`), a parser for a
 JOB-style and CEB-style workloads over any :class:`repro.storage.Database`.
 """
 
-from repro.sql.query import ColumnRef, Join, Op, OrPredicate, Predicate, Query
+from repro.sql.query import (
+    ColumnRef,
+    Join,
+    Op,
+    OrPredicate,
+    Predicate,
+    Query,
+    query_hash,
+)
 from repro.sql.parser import parse_query, SQLSyntaxError
 from repro.sql.generator import WorkloadGenerator
 
@@ -19,6 +27,7 @@ __all__ = [
     "OrPredicate",
     "Predicate",
     "Query",
+    "query_hash",
     "parse_query",
     "SQLSyntaxError",
     "WorkloadGenerator",

@@ -9,12 +9,21 @@ Lero, ... all operate on exactly this class).
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable
 
 import numpy as np
 
-__all__ = ["Op", "ColumnRef", "Predicate", "OrPredicate", "Join", "Query"]
+__all__ = [
+    "Op",
+    "ColumnRef",
+    "Predicate",
+    "OrPredicate",
+    "Join",
+    "Query",
+    "query_hash",
+]
 
 
 class Op(enum.Enum):
@@ -345,3 +354,21 @@ class Query:
 
     def __str__(self) -> str:
         return self.to_sql()
+
+
+def query_hash(query: Query) -> str:
+    """Stable 12-hex-digit identity of a query's canonical text.
+
+    The one query-hashing scheme in the repository: the deployment
+    manager's canary split, the serving traces, the experience store's
+    dedup key and the cross-plan :class:`repro.optimizer.CardinalityCache`
+    all key by this value.  Because it hashes :attr:`Query.cache_key`
+    (the canonicalized SQL text), two equivalent queries constructed with
+    different member orderings hash identically.  Memoized per instance,
+    like ``cache_key`` itself.
+    """
+    h = query.__dict__.get("_query_hash")
+    if h is None:
+        h = hashlib.sha256(query.cache_key.encode()).hexdigest()[:12]
+        object.__setattr__(query, "_query_hash", h)
+    return h
