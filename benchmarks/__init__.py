@@ -37,6 +37,18 @@ BENCHMARKS: dict[str, tuple[str, str]] = {
         "bench_p2_serving",
         "serving runtime: sustained qps, tail latency, determinism",
     ),
+    "p3": (
+        "bench_p3_chaos",
+        "serving stack under deterministic fault injection",
+    ),
+    "p4": (
+        "bench_p4_lifecycle",
+        "model lifecycle: experience store, registry, retraining",
+    ),
+    "p5": (
+        "bench_p5_oracle",
+        "plan-correctness oracle: clean run, mutation catch rate, determinism",
+    ),
 }
 
 

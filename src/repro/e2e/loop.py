@@ -58,6 +58,7 @@ class OptimizationLoop:
         guard=None,
         degrade_on_error: bool = True,
         experience=None,
+        auditor=None,
     ) -> None:
         """``guard`` optionally wraps plan selection (see
         :mod:`repro.regression`): it is called as
@@ -74,13 +75,20 @@ class OptimizationLoop:
         ``experience`` is an optional
         :class:`repro.lifecycle.ExperienceStore`; every
         :class:`EpisodeResult` is ingested into it, which is how offline
-        training loops feed the continuous-retraining pipeline."""
+        training loops feed the continuous-retraining pipeline.
+
+        ``auditor`` is an optional :class:`repro.oracle.OnlineAuditor`:
+        a deterministic sample of served plans is re-executed literally
+        and checked against the exact count (``observe_plan``), so a
+        structurally wrong plan surfaces as an audit violation instead of
+        passing silently through the simulator."""
         self.learned = learned
         self.simulator = simulator
         self.native = native
         self.guard = guard
         self.degrade_on_error = degrade_on_error
         self.experience = experience
+        self.auditor = auditor
         self.results: list[EpisodeResult] = []
         self.fallbacks = 0  # learned failures served natively
         self.guard_errors = 0  # contained guard exceptions
@@ -105,6 +113,8 @@ class OptimizationLoop:
                 self.guard_errors += 1  # guard abstains, candidate stands
         latency = self.simulator.execute(candidate.plan).latency_ms
         native_latency = self.simulator.execute(native_plan).latency_ms
+        if self.auditor is not None:
+            self.auditor.observe_plan(query, candidate.plan)
         if candidate.source != "native:fallback":
             self.learned.record_feedback(query, candidate, latency)
         if self.guard is not None and hasattr(self.guard, "record"):

@@ -41,12 +41,35 @@ def _filtered_indices(db: Database, query: Query, table: str) -> np.ndarray:
     return np.flatnonzero(mask)
 
 
+#: Promote int64 message passing to Python-int (object dtype) arithmetic
+#: once a float64 shadow of the running value crosses this bound.  The
+#: shadow tracks the true (integer) value to ~1e-13 relative error, so one
+#: power of two of headroom below ``2**63 - 1`` makes the check sound: any
+#: computation that could overflow int64 is promoted first.
+_INT64_PROMOTE_LIMIT = float(2**62)
+
+
 def _group_sum(keys: np.ndarray, weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Return (unique_keys, summed_weights) for the given key array."""
+    """Return (unique_keys, summed_weights), integer-exact.
+
+    Weights are integer counts (int64, or object-dtype Python ints once
+    promoted).  Accumulating them in float64 silently rounds past 2**53 --
+    and long multiply chains well before that -- so sums stay in integer
+    arithmetic, promoting to arbitrary-precision Python ints when a float64
+    shadow shows the int64 range is at risk.
+    """
     if keys.size == 0:
         return keys, weights
     uniq, inverse = np.unique(keys, return_inverse=True)
-    sums = np.zeros(uniq.shape[0], dtype=float)
+    if weights.dtype != object:
+        shadow = np.zeros(uniq.shape[0])
+        np.add.at(shadow, inverse, weights.astype(np.float64))
+        if np.max(shadow, initial=0.0) < _INT64_PROMOTE_LIMIT:
+            sums = np.zeros(uniq.shape[0], dtype=np.int64)
+            np.add.at(sums, inverse, weights)
+            return uniq, sums
+        weights = weights.astype(object)
+    sums = np.zeros(uniq.shape[0], dtype=object)
     np.add.at(sums, inverse, weights)
     return uniq, sums
 
@@ -54,12 +77,34 @@ def _group_sum(keys: np.ndarray, weights: np.ndarray) -> tuple[np.ndarray, np.nd
 def _lookup(uniq: np.ndarray, sums: np.ndarray, keys: np.ndarray) -> np.ndarray:
     """Map each key to its summed weight (0 when absent)."""
     if uniq.size == 0:
-        return np.zeros(keys.shape[0])
+        return np.zeros(keys.shape[0], dtype=sums.dtype if sums.size else np.int64)
     pos = np.searchsorted(uniq, keys)
     pos = np.clip(pos, 0, uniq.shape[0] - 1)
     hit = uniq[pos] == keys
-    out = np.where(hit, sums[pos], 0.0)
+    out = np.where(hit, sums[pos], 0)
     return out
+
+
+def _weight_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise integer product, promoting past the int64 range."""
+    if a.dtype == object or b.dtype == object:
+        return a.astype(object) * b.astype(object)
+    shadow = a.astype(np.float64) * b.astype(np.float64)
+    if shadow.size and np.max(shadow, initial=0.0) >= _INT64_PROMOTE_LIMIT:
+        return a.astype(object) * b.astype(object)
+    return a * b
+
+
+def _weight_total(weights: np.ndarray) -> int:
+    """Exact integer sum of a weight array."""
+    if weights.dtype == object:
+        return int(sum(weights.tolist()))
+    if (
+        weights.size
+        and weights.astype(np.float64).sum() >= _INT64_PROMOTE_LIMIT
+    ):
+        return int(sum(int(w) for w in weights))
+    return int(weights.sum())
 
 
 def _join_graph_is_tree(query: Query) -> bool:
@@ -122,7 +167,9 @@ class CardinalityExecutor:
         rows = {
             t: _filtered_indices(self.db, query, t) for t in query.tables
         }
-        weights = {t: np.ones(rows[t].shape[0]) for t in query.tables}
+        weights = {
+            t: np.ones(rows[t].shape[0], dtype=np.int64) for t in query.tables
+        }
 
         root = query.tables[0]
         # Post-order traversal (iterative).
@@ -149,8 +196,10 @@ class CardinalityExecutor:
             keys = self.db.table(table).values(my_col)[rows[table]]
             uniq, sums = _group_sum(keys, weights[table])
             parent_keys = self.db.table(parent).values(parent_col)[rows[parent]]
-            weights[parent] *= _lookup(uniq, sums, parent_keys)
-        return int(round(weights[root].sum()))
+            weights[parent] = _weight_product(
+                weights[parent], _lookup(uniq, sums, parent_keys)
+            )
+        return _weight_total(weights[root])
 
     # -- cyclic: guarded materialization ---------------------------------------------
 

@@ -71,8 +71,15 @@ class ColumnStats:
     # -- selectivity primitives ---------------------------------------------------
 
     def eq_selectivity(self, value: float) -> float:
-        """Selectivity of ``col = value``."""
+        """Selectivity of ``col = value``.
+
+        Literals outside the column's ``[min_value, max_value]`` domain
+        match no rows and estimate 0 -- the non-MCV fallback only applies
+        to in-domain values the MCV list does not cover.
+        """
         if self.n_rows == 0:
+            return 0.0
+        if value < self.min_value or value > self.max_value:
             return 0.0
         hit = np.nonzero(self.mcv_values == value)[0]
         if hit.size:
@@ -80,14 +87,37 @@ class ColumnStats:
         n_non_mcv_distinct = max(self.n_distinct - self.mcv_values.shape[0], 1)
         return self.non_mcv_fraction / n_non_mcv_distinct
 
-    def range_selectivity(self, lo: float, hi: float) -> float:
-        """Selectivity of ``lo <= col <= hi`` (either side may be +/-inf)."""
+    def range_selectivity(
+        self,
+        lo: float,
+        hi: float,
+        *,
+        inclusive_lo: bool = True,
+        inclusive_hi: bool = True,
+    ) -> float:
+        """Selectivity of ``lo <= col <= hi`` (either side may be +/-inf).
+
+        ``inclusive_lo``/``inclusive_hi`` mark each endpoint closed (the
+        default) or open, so strict ``<``/``>`` predicates are represented
+        exactly instead of via an epsilon shift of the literal.  Openness
+        only matters for point masses sitting exactly on an endpoint: MCVs
+        and degenerate histogram buckets on an open endpoint are excluded;
+        the continuous within-bucket interpolation is unaffected.
+        """
         if self.n_rows == 0:
             return 0.0
+        if lo > hi or (lo == hi and not (inclusive_lo and inclusive_hi)):
+            return 0.0
+
+        def point_in_range(p: np.ndarray | float):
+            above = (p > lo) | ((p == lo) & inclusive_lo)
+            below = (p < hi) | ((p == hi) & inclusive_hi)
+            return above & below
+
         sel = 0.0
-        # MCV contribution: exact.
+        # MCV contribution: exact point masses.
         if self.mcv_values.size:
-            in_range = (self.mcv_values >= lo) & (self.mcv_values <= hi)
+            in_range = point_in_range(self.mcv_values)
             sel += float(self.mcv_freqs[in_range].sum())
         # Histogram contribution: linear interpolation within buckets.
         bounds = self.histogram_bounds
@@ -99,7 +129,12 @@ class ColumnStats:
                 if b_hi < lo or b_lo > hi:
                     continue
                 if b_hi == b_lo:
-                    frac += 1.0
+                    # Degenerate bucket: a point mass at b_lo.  It counts
+                    # only when that point actually satisfies the (possibly
+                    # open) interval -- merely touching an excluded
+                    # endpoint contributes nothing.
+                    if bool(point_in_range(float(b_lo))):
+                        frac += 1.0
                     continue
                 covered_lo = max(b_lo, lo)
                 covered_hi = min(b_hi, hi)

@@ -45,8 +45,10 @@ class TraditionalCardinalityEstimator:
                 for v in pred.value  # type: ignore[union-attr]
             )
             return min(sel, 1.0)
-        lo, hi = pred.to_range()
-        return col_stats.range_selectivity(lo, hi)
+        lo, hi, lo_inc, hi_inc = pred.to_bounds()
+        return col_stats.range_selectivity(
+            lo, hi, inclusive_lo=lo_inc, inclusive_hi=hi_inc
+        )
 
     def table_selectivity(self, query: Query, table: str) -> float:
         """Combined selectivity of all predicates on ``table`` (independence)."""

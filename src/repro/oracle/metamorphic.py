@@ -1,0 +1,192 @@
+"""Metamorphic query transforms and the suite that checks them.
+
+Metamorphic testing sidesteps the oracle problem: we may not know a query's
+true count a priori, but we *do* know that certain rewrites cannot change
+it.  Each transform here is result-preserving by construction --
+
+- **add_tautology**: conjoin ``col <= max(col over the data)``, which every
+  row satisfies;
+- **split_between**: rewrite ``col BETWEEN lo AND hi`` as the conjunction
+  ``col >= lo AND col <= hi``;
+- **expand_in_to_or**: rewrite ``col IN (a, b, ...)`` as the disjunction
+  ``col = a OR col = b OR ...`` (singleton IN becomes plain equality);
+- **permute_tables** / **commute_joins**: reorder the FROM list and swap
+  each join's sides.  These must additionally leave :func:`~repro.sql.
+  query.query_hash` unchanged -- the repo's canonicalization contract that
+  the cardinality cache, canary split and experience store all rely on.
+
+The suite runs each applicable transform over a workload, asserting the
+exact executor returns the same count for original and transformed query.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.executor import CardinalityExecutor, IntermediateTooLarge
+from repro.oracle.report import Violation
+from repro.sql.query import (
+    ColumnRef,
+    Join,
+    Op,
+    OrPredicate,
+    Predicate,
+    Query,
+    query_hash,
+)
+from repro.storage.catalog import Database
+
+__all__ = ["MetamorphicSuite", "TRANSFORMS"]
+
+
+def _columns_used(query: Query) -> list:
+    """ColumnRefs mentioned by the query's predicates, in canonical order."""
+    return [p.column for p in query.predicates]
+
+
+def add_tautology(db: Database, query: Query) -> Query | None:
+    """Conjoin a predicate every row satisfies: ``col <= data max``."""
+    cols = _columns_used(query)
+    if not cols:
+        # Fall back to the first column of the first table.
+        table = query.tables[0]
+        names = db.table(table).column_names
+        if not names:
+            return None
+        ref = ColumnRef(table, names[0])
+    else:
+        ref = cols[0]
+    ceiling = db.table(ref.table).column(ref.column).max
+    taut = Predicate(ref, Op.LE, ceiling)
+    if taut in query.predicates:
+        return None
+    return Query(query.tables, query.joins, query.predicates + (taut,))
+
+
+def split_between(db: Database, query: Query) -> Query | None:
+    """Split the first BETWEEN predicate into two range conjuncts."""
+    for i, p in enumerate(query.predicates):
+        if p.op is Op.BETWEEN:
+            lo, hi = p.value
+            rest = query.predicates[:i] + query.predicates[i + 1 :]
+            split = (
+                Predicate(p.column, Op.GE, float(lo)),
+                Predicate(p.column, Op.LE, float(hi)),
+            )
+            return Query(query.tables, query.joins, rest + split)
+    return None
+
+
+def expand_in_to_or(db: Database, query: Query) -> Query | None:
+    """Expand the first IN predicate into a disjunction of equalities."""
+    for i, p in enumerate(query.predicates):
+        if p.op is Op.IN:
+            values = sorted(p.value)
+            rest = query.predicates[:i] + query.predicates[i + 1 :]
+            if len(values) == 1:
+                expanded = Predicate(p.column, Op.EQ, float(values[0]))
+            else:
+                expanded = OrPredicate(
+                    p.column,
+                    tuple(
+                        Predicate(p.column, Op.EQ, float(v)) for v in values
+                    ),
+                )
+            return Query(query.tables, query.joins, rest + (expanded,))
+    return None
+
+
+def permute_tables(db: Database, query: Query) -> Query | None:
+    """Rebuild with the FROM list (and join/predicate lists) reversed."""
+    if query.n_tables < 2:
+        return None
+    return Query(
+        tuple(reversed(query.tables)),
+        tuple(reversed(query.joins)),
+        tuple(reversed(query.predicates)),
+    )
+
+
+def commute_joins(db: Database, query: Query) -> Query | None:
+    """Swap the two sides of every join condition."""
+    if not query.joins:
+        return None
+    return Query(
+        query.tables,
+        tuple(Join(j.right, j.left) for j in query.joins),
+        query.predicates,
+    )
+
+
+#: transform name -> (fn, must_preserve_query_hash)
+TRANSFORMS: dict[
+    str, tuple[Callable[[Database, Query], Query | None], bool]
+] = {
+    "add_tautology": (add_tautology, False),
+    "split_between": (split_between, False),
+    "expand_in_to_or": (expand_in_to_or, False),
+    "permute_tables": (permute_tables, True),
+    "commute_joins": (commute_joins, True),
+}
+
+
+class MetamorphicSuite:
+    """Run result-preserving transforms over a workload and compare counts."""
+
+    def __init__(
+        self, db: Database, executor: CardinalityExecutor | None = None
+    ) -> None:
+        self.db = db
+        self.executor = (
+            executor if executor is not None else CardinalityExecutor(db)
+        )
+        self.checks_run = 0
+        self.skipped = 0
+
+    def check_query(self, query: Query) -> list[Violation]:
+        violations: list[Violation] = []
+        qh = query_hash(query)
+        try:
+            baseline = self.executor.cardinality(query)
+        except IntermediateTooLarge:
+            self.skipped += 1
+            return violations
+        for name, (transform, hash_preserving) in TRANSFORMS.items():
+            transformed = transform(self.db, query)
+            if transformed is None:
+                continue
+            self.checks_run += 1
+            if hash_preserving and query_hash(transformed) != qh:
+                violations.append(
+                    Violation(
+                        layer="metamorphic",
+                        check=f"{name}:query_hash",
+                        subject=qh,
+                        expected=qh,
+                        actual=query_hash(transformed),
+                        detail=transformed.to_sql(),
+                    )
+                )
+            try:
+                count = self.executor.cardinality(transformed)
+            except IntermediateTooLarge:
+                self.skipped += 1
+                continue
+            if count != baseline:
+                violations.append(
+                    Violation(
+                        layer="metamorphic",
+                        check=name,
+                        subject=qh,
+                        expected=str(baseline),
+                        actual=str(count),
+                        detail=transformed.to_sql(),
+                    )
+                )
+        return violations
+
+    def check_workload(self, queries: list[Query]) -> list:
+        out = []
+        for q in queries:
+            out.extend(self.check_query(q))
+        return out

@@ -1,0 +1,98 @@
+"""Violation records and the deterministic oracle report.
+
+Every oracle layer (differential plan equivalence, metamorphic transforms,
+estimator contracts, the online audit) reports problems as
+:class:`Violation` records collected into an :class:`OracleReport`.  The
+report's JSON export is canonical -- violations sorted by identity, keys
+sorted -- so two same-seed oracle runs produce byte-identical exports, the
+same determinism contract the serving/chaos/lifecycle benchmarks gate on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Violation", "OracleReport"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One correctness violation the oracle observed.
+
+    ``layer`` names the oracle layer (``"plan_equivalence"``,
+    ``"metamorphic"``, ``"contract"``, ``"audit"``); ``check`` the specific
+    invariant; ``subject`` what was checked (a query hash, a plan
+    signature, an estimator name); ``expected``/``actual`` the disagreeing
+    values rendered as strings so the record stays JSON-trivial.
+    """
+
+    layer: str
+    check: str
+    subject: str
+    expected: str
+    actual: str
+    detail: str = ""
+
+    def as_dict(self) -> dict[str, str]:
+        return {
+            "layer": self.layer,
+            "check": self.check,
+            "subject": self.subject,
+            "expected": self.expected,
+            "actual": self.actual,
+            "detail": self.detail,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.layer}/{self.check}] {self.subject}: "
+            f"expected {self.expected}, got {self.actual}"
+            + (f" ({self.detail})" if self.detail else "")
+        )
+
+
+@dataclass
+class OracleReport:
+    """Aggregate outcome of one oracle pass."""
+
+    violations: list[Violation] = field(default_factory=list)
+    #: checks performed per layer (violating or not), for coverage reporting
+    checks: dict[str, int] = field(default_factory=dict)
+
+    def record_check(self, layer: str, n: int = 1) -> None:
+        self.checks[layer] = self.checks.get(layer, 0) + n
+
+    def extend(self, violations: list[Violation]) -> None:
+        self.violations.extend(violations)
+
+    def merge(self, other: "OracleReport") -> None:
+        self.extend(other.violations)
+        for layer, n in other.checks.items():
+            self.record_check(layer, n)
+
+    @property
+    def n_violations(self) -> int:
+        return len(self.violations)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def by_layer(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for v in self.violations:
+            out[v.layer] = out.get(v.layer, 0) + 1
+        return out
+
+    def to_json(self) -> str:
+        """Canonical export: sorted violations, sorted keys, no whitespace."""
+        payload = {
+            "checks": dict(sorted(self.checks.items())),
+            "n_violations": self.n_violations,
+            "violations": sorted(
+                (v.as_dict() for v in self.violations),
+                key=lambda d: (d["layer"], d["check"], d["subject"], d["actual"]),
+            ),
+        }
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"))

@@ -224,6 +224,12 @@ class ServingRuntime:
     callable run (inside the execution core, so deterministically) just
     before that request is processed -- the drift scenario uses this to
     mutate the database mid-stream.
+
+    ``auditor`` optionally attaches a sampled online correctness audit
+    (see :class:`repro.oracle.OnlineAuditor`): each served request passes
+    through ``auditor.observe(query, cardinality, bus=...)`` inside the
+    single-writer core (so sampling stays deterministic) and the returned
+    tag lands on the request's :class:`~repro.serve.telemetry.TraceRecord`.
     """
 
     def __init__(
@@ -233,6 +239,7 @@ class ServingRuntime:
         config: RuntimeConfig | None = None,
         telemetry: TelemetryBus | None = None,
         hooks: dict[int, Callable[[], None]] | None = None,
+        auditor=None,
     ) -> None:
         self.backend = backend
         self.config = config if config is not None else RuntimeConfig()
@@ -242,6 +249,7 @@ class ServingRuntime:
             else getattr(backend, "telemetry", None) or TelemetryBus()
         )
         self.hooks = dict(hooks) if hooks else {}
+        self.auditor = auditor
 
     # -- the execution core (always entered in global_seq order) -----------------
 
@@ -285,7 +293,9 @@ class ServingRuntime:
             cardinality=decision.cardinality,
         )
 
-    def _file_telemetry(self, outcome, cache_before, cache_after) -> None:
+    def _file_telemetry(
+        self, outcome, cache_before, cache_after, audit: str = ""
+    ) -> None:
         bus = self.telemetry
         req = outcome.request
         if isinstance(outcome, Served):
@@ -308,6 +318,7 @@ class ServingRuntime:
                     wait_ms=outcome.wait_ms,
                     cache_hits=hits,
                     cache_misses=misses,
+                    audit=audit,
                 )
             )
         else:
@@ -353,7 +364,14 @@ class ServingRuntime:
                         req, arrivals, session_clock, busy_until
                     )
                     after = cache_fn() if cache_fn is not None else None
-                    self._file_telemetry(outcome, before, after)
+                    audit = ""
+                    if self.auditor is not None and isinstance(outcome, Served):
+                        audit = self.auditor.observe(
+                            req.query,
+                            outcome.cardinality,
+                            bus=self.telemetry,
+                        )
+                    self._file_telemetry(outcome, before, after, audit)
                     outcomes[req.global_seq] = outcome
             except BaseException as exc:  # surface worker failures to run()
                 errors.append(exc)

@@ -41,6 +41,7 @@ from repro.faults import (
 from repro.optimizer.hints import HintSet
 from repro.optimizer.planner import Optimizer
 from repro.optimizer.traditional import TraditionalCardinalityEstimator
+from repro.oracle.audit import OnlineAuditor
 from repro.serve.deployment import DeploymentManager, Stage
 from repro.serve.runtime import (
     Request,
@@ -121,6 +122,9 @@ class ServingScenario:
     schedule: list[list[Request]]
     #: set on chaos scenarios: the fault injector driving the run
     injector: FaultInjector | None = None
+    #: set when the scenario was assembled with ``audit_every``: the online
+    #: oracle sampling served results (see :class:`repro.oracle.OnlineAuditor`)
+    auditor: OnlineAuditor | None = None
 
     def run(self) -> RunReport:
         return self.runtime.run(self.schedule)
@@ -145,6 +149,7 @@ def _assemble(
     config: RuntimeConfig | None,
     learned_wrap=None,
     hooks: dict | None = None,
+    audit_every: int | None = None,
 ) -> ServingScenario:
     db = make_stats_lite(scale=scale, seed=seed)
     native = Optimizer(db)
@@ -166,7 +171,12 @@ def _assemble(
         n_queries, 2, 4, require_predicate=True
     )
     schedule = build_schedule(queries, n_sessions, seed=seed)
-    runtime = ServingRuntime(deployment, config=config, hooks=hooks)
+    auditor = (
+        OnlineAuditor(db, every=audit_every) if audit_every is not None else None
+    )
+    runtime = ServingRuntime(
+        deployment, config=config, hooks=hooks, auditor=auditor
+    )
     return ServingScenario(
         name=name,
         db=db,
@@ -175,6 +185,7 @@ def _assemble(
         deployment=deployment,
         runtime=runtime,
         schedule=schedule,
+        auditor=auditor,
     )
 
 
@@ -187,8 +198,14 @@ def steady_state_scenario(
     stage: Stage = Stage.CANARY,
     canary_fraction: float = 0.5,
     config: RuntimeConfig | None = None,
+    audit_every: int | None = None,
 ) -> ServingScenario:
-    """Healthy canary under sustained concurrent traffic."""
+    """Healthy canary under sustained concurrent traffic.
+
+    ``audit_every`` (off by default) attaches the online oracle: one in
+    that many served queries is re-verified against the independent
+    reference count, with outcomes reported through the telemetry bus.
+    """
     return _assemble(
         name="steady_state",
         scale=scale,
@@ -201,6 +218,7 @@ def steady_state_scenario(
         window=40,
         min_samples=15,
         config=config,
+        audit_every=audit_every,
     )
 
 

@@ -98,6 +98,9 @@ class TraceRecord:
     wait_ms: float
     cache_hits: int = 0
     cache_misses: int = 0
+    #: online-oracle audit outcome: "" (not sampled), "ok", "violation",
+    #: or "skipped" (re-verification exceeded the auditor's row guard)
+    audit: str = ""
 
 
 class TelemetryBus:

@@ -101,10 +101,15 @@ class Predicate:
         raise AssertionError(f"unhandled op {self.op}")
 
     def to_range(self) -> tuple[float, float]:
-        """Closed interval ``[lo, hi]`` selected on the column.
+        """Closed-interval *hull* ``[lo, hi]``, for featurization only.
 
-        IN predicates return their hull; callers needing exact IN semantics
-        must check ``op`` first.  Open-ended sides are +/- inf.
+        Strict ``<``/``>`` are approximated by an epsilon shift, which is
+        fine as a model feature but wrong as an estimation boundary (the
+        epsilon vanishes for values near 1e9 and misrepresents integer
+        columns).  Estimation code must use :meth:`to_bounds`, which carries
+        exact open/closed endpoint flags.  IN predicates return their hull;
+        callers needing exact IN semantics must check ``op`` first.
+        Open-ended sides are +/- inf.
         """
         if self.op is Op.EQ:
             v = float(self.value)  # type: ignore[arg-type]
@@ -122,6 +127,32 @@ class Predicate:
             return (float(lo), float(hi))
         values = sorted(self.value)  # type: ignore[arg-type]
         return (float(values[0]), float(values[-1]))
+
+    def to_bounds(self) -> tuple[float, float, bool, bool]:
+        """Exact interval as ``(lo, hi, lo_inclusive, hi_inclusive)``.
+
+        Unlike :meth:`to_range` there is no epsilon hack: strict operators
+        report an *open* endpoint at the literal itself, so estimators can
+        exclude point masses sitting exactly on the boundary regardless of
+        the literal's magnitude or the column's type.  IN predicates return
+        their closed hull (check ``op`` for exact semantics).
+        """
+        if self.op is Op.EQ:
+            v = float(self.value)  # type: ignore[arg-type]
+            return (v, v, True, True)
+        if self.op is Op.LT:
+            return (-np.inf, float(self.value), True, False)  # type: ignore[arg-type]
+        if self.op is Op.LE:
+            return (-np.inf, float(self.value), True, True)  # type: ignore[arg-type]
+        if self.op is Op.GT:
+            return (float(self.value), np.inf, False, True)  # type: ignore[arg-type]
+        if self.op is Op.GE:
+            return (float(self.value), np.inf, True, True)  # type: ignore[arg-type]
+        if self.op is Op.BETWEEN:
+            lo, hi = self.value  # type: ignore[misc]
+            return (float(lo), float(hi), True, True)
+        values = sorted(self.value)  # type: ignore[arg-type]
+        return (float(values[0]), float(values[-1]), True, True)
 
     def __str__(self) -> str:
         if self.op is Op.BETWEEN:
@@ -174,6 +205,15 @@ class OrPredicate:
         """Hull over the parts (callers needing exact semantics check op)."""
         lows, highs = zip(*(p.to_range() for p in self.parts))
         return (min(lows), max(highs))
+
+    def to_bounds(self) -> tuple[float, float, bool, bool]:
+        """Closed hull over the parts, in :meth:`Predicate.to_bounds` form."""
+        bounds = [p.to_bounds() for p in self.parts]
+        lo = min(b[0] for b in bounds)
+        hi = max(b[1] for b in bounds)
+        lo_inc = any(b[0] == lo and b[2] for b in bounds)
+        hi_inc = any(b[1] == hi and b[3] for b in bounds)
+        return (lo, hi, lo_inc, hi_inc)
 
     def __str__(self) -> str:
         return "(" + " OR ".join(str(p) for p in self.parts) + ")"

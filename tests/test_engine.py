@@ -180,6 +180,91 @@ class TestExecutorCorrectness:
         assert execute_cardinality(tiny_db, q) == brute_force_count(tiny_db, q)
 
 
+class TestIntegerExactCounts:
+    """S1 regression: counts stay integer-exact past float64's 2**53 limit.
+
+    The deep-chain fixture is built so every per-key product (and the odd
+    total) exceeds what float64 can represent -- the old float64
+    message-passing accumulator silently rounded these.
+    """
+
+    def test_chain_exact_past_float53(self):
+        from repro.oracle.fixtures import make_deep_chain
+
+        db, q, expected = make_deep_chain(8)
+        assert expected > 2**53 and expected % 2 == 1
+        assert int(float(expected)) != expected  # not float64-representable
+        assert execute_cardinality(db, q) == expected
+
+    def test_chain_exact_past_int64(self):
+        from repro.oracle.fixtures import make_deep_chain
+
+        db, q, expected = make_deep_chain(10)
+        assert expected > 2**63  # forces the object-dtype promotion path
+        assert execute_cardinality(db, q) == expected
+
+    def test_count_is_python_int(self, tiny_db):
+        q = Query(
+            ("posts", "users"),
+            (Join(ColumnRef("posts", "uid"), ColumnRef("users", "id")),),
+        )
+        result = execute_cardinality(tiny_db, q)
+        assert type(result) is int
+
+
+class TestMaterializedCount:
+    """S5: edge cases of the cyclic-query hash-join materialization path."""
+
+    def triangle(self, *predicates):
+        return Query(
+            ("comments", "posts", "users"),
+            (
+                Join(ColumnRef("posts", "uid"), ColumnRef("users", "id")),
+                Join(ColumnRef("comments", "pid"), ColumnRef("posts", "id")),
+                Join(ColumnRef("comments", "cuid"), ColumnRef("users", "id")),
+            ),
+            predicates,
+        )
+
+    def test_empty_intermediate(self, tiny_db):
+        q = self.triangle(Predicate(ColumnRef("users", "age"), Op.GT, 99.0))
+        assert execute_cardinality(tiny_db, q) == 0
+
+    def test_agrees_with_tree_count_on_acyclic(self, tiny_db):
+        # Force an acyclic query down the materialization path: both
+        # strategies must produce the same count as brute force.
+        ex = CardinalityExecutor(tiny_db)
+        q = Query(
+            ("comments", "posts", "users"),
+            (
+                Join(ColumnRef("posts", "uid"), ColumnRef("users", "id")),
+                Join(ColumnRef("comments", "pid"), ColumnRef("posts", "id")),
+            ),
+            (Predicate(ColumnRef("posts", "score"), Op.LE, 2.0),),
+        )
+        expected = brute_force_count(tiny_db, q)
+        assert ex._tree_count(q) == expected
+        assert ex._materialized_count(q) == expected
+
+    def test_cycle_edge_filters(self, tiny_db):
+        # Closing the triangle can only remove tuples relative to the
+        # two-edge chain, and the cyclic count must match brute force.
+        cyclic = self.triangle()
+        chain = Query(cyclic.tables, cyclic.joins[:-1])
+        n_cyclic = execute_cardinality(tiny_db, cyclic)
+        assert n_cyclic == brute_force_count(tiny_db, cyclic)
+        assert n_cyclic <= execute_cardinality(tiny_db, chain)
+
+    def test_guard_raises_not_truncates(self, tiny_db):
+        ex = CardinalityExecutor(tiny_db, max_intermediate_rows=2)
+        with pytest.raises(IntermediateTooLarge):
+            ex.cardinality(self.triangle())
+        # A roomier guard must succeed and agree with brute force.
+        roomy = CardinalityExecutor(tiny_db)
+        q = self.triangle()
+        assert roomy.cardinality(q) == brute_force_count(tiny_db, q)
+
+
 class TestPlans:
     def _two_table_plan(self, method=JoinMethod.HASH):
         q = Query(

@@ -52,6 +52,79 @@ class TestColumnStats:
         assert stats.range_selectivity(0, 1) == 0.0
 
 
+class TestSelectivityDomainEdges:
+    """S2/S3/S4 regressions: out-of-domain literals, open endpoints and
+    degenerate histogram buckets at the domain edge."""
+
+    def test_eq_out_of_domain_is_zero(self):
+        values = np.arange(1000)
+        stats = ColumnStats.build(values, n_mcv=5)
+        assert stats.eq_selectivity(-5.0) == 0.0
+        assert stats.eq_selectivity(1000.5) == 0.0
+        assert stats.eq_selectivity(500.0) > 0.0
+
+    def test_in_list_ignores_out_of_domain_members(self, stats_db):
+        est = TraditionalCardinalityEstimator(stats_db)
+        ref = ColumnRef("users", "reputation")
+
+        def q(vals):
+            return Query(
+                ("users",), (), (Predicate(ref, Op.IN, frozenset(vals)),)
+            )
+
+        assert est.estimate(q({5.0, 1e12})) == pytest.approx(
+            est.estimate(q({5.0}))
+        )
+        assert est.estimate(q({1e12, -1e12})) == 0.0
+
+    def test_degenerate_bucket_open_endpoint(self):
+        from repro.oracle.fixtures import make_probe_table
+
+        skew = make_probe_table().values("skew")
+        stats = ColumnStats.build(skew)
+        point_mass = float((skew == skew.max()).mean())
+        assert point_mass > 0.04  # the fixture really has mass at the max
+        closed = stats.range_selectivity(5000, np.inf)
+        assert closed == pytest.approx(point_mass, abs=0.01)
+        assert stats.range_selectivity(5000, np.inf, inclusive_lo=False) == 0.0
+        le = stats.range_selectivity(-np.inf, 5000)
+        lt = stats.range_selectivity(-np.inf, 5000, inclusive_hi=False)
+        assert le - lt == pytest.approx(point_mass, abs=0.01)
+
+    def test_mcv_open_endpoint(self):
+        values = np.array([1.0] * 90 + [2.0] * 10)
+        stats = ColumnStats.build(values, n_mcv=2)
+        assert stats.range_selectivity(1.0, 2.0) == pytest.approx(1.0)
+        assert stats.range_selectivity(
+            1.0, 2.0, inclusive_lo=False
+        ) == pytest.approx(0.1)
+        assert stats.range_selectivity(
+            1.0, 2.0, inclusive_hi=False
+        ) == pytest.approx(0.9)
+
+    def test_open_point_interval_is_empty(self):
+        stats = ColumnStats.build(np.arange(100))
+        assert stats.range_selectivity(5, 5, inclusive_lo=False) == 0.0
+        assert stats.range_selectivity(5, 5, inclusive_hi=False) == 0.0
+
+    def test_strict_comparison_at_large_magnitude(self):
+        # S4: at ~2e9 a 1e-9 epsilon shift vanishes in float64, so only
+        # true open-endpoint bounds can distinguish > max from >= max.
+        from repro.oracle.fixtures import make_probe_table
+        from repro.storage import Database
+
+        db = Database("probe_db", [make_probe_table()], [])
+        est = TraditionalCardinalityEstimator(db)
+        ref = ColumnRef("probe", "big")
+
+        def q(op, value):
+            return Query(("probe",), (), (Predicate(ref, op, value),))
+
+        assert est.estimate(q(Op.GT, 2_000_000_000.0)) == 0.0
+        assert est.estimate(q(Op.GE, 2_000_000_000.0)) > 0.0
+        assert est.estimate(q(Op.LT, 1_999_999_000.0)) == 0.0
+
+
 class TestDatabaseStats:
     def test_build_covers_all(self, stats_db):
         stats = DatabaseStats.build(stats_db)

@@ -65,6 +65,46 @@ class TestPredicate:
         in_range = (arr >= lo) & (arr <= hi)
         assert np.array_equal(mask, in_range)
 
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            (Op.EQ, 5.0, (5.0, 5.0, True, True)),
+            (Op.LT, 5.0, (-np.inf, 5.0, True, False)),
+            (Op.LE, 5.0, (-np.inf, 5.0, True, True)),
+            (Op.GT, 5.0, (5.0, np.inf, False, True)),
+            (Op.GE, 5.0, (5.0, np.inf, True, True)),
+            (Op.BETWEEN, (1.0, 3.0), (1.0, 3.0, True, True)),
+            (Op.IN, frozenset([4.0, 1.0, 9.0]), (1.0, 9.0, True, True)),
+        ],
+    )
+    def test_to_bounds(self, op, value, expected):
+        assert Predicate(ref(), op, value).to_bounds() == expected
+
+    def test_to_bounds_exact_at_large_magnitude(self):
+        # The motivating case for replacing to_range's epsilon shift: at
+        # 2e9 the 1e-9 epsilon vanishes in float64, so the hull cannot
+        # distinguish > v from >= v -- the bounds flags still can.
+        v = 2_000_000_000.0
+        assert v + 1e-9 == v  # epsilon really is absorbed at this scale
+        lo, hi, lo_inc, hi_inc = Predicate(ref(), Op.GT, v).to_bounds()
+        assert (lo, lo_inc) == (v, False)
+        ge = Predicate(ref(), Op.GE, v).to_bounds()
+        assert (ge[0], ge[2]) == (v, True)
+
+    @given(
+        st.sampled_from([Op.LT, Op.LE, Op.GT, Op.GE, Op.EQ]),
+        st.floats(-100, 100),
+        st.lists(st.floats(-100, 100), min_size=1, max_size=30),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds_consistent_with_evaluate(self, op, threshold, values):
+        pred = Predicate(ref(), op, threshold)
+        arr = np.array(values)
+        lo, hi, lo_inc, hi_inc = pred.to_bounds()
+        above = (arr > lo) | ((arr == lo) & lo_inc)
+        below = (arr < hi) | ((arr == hi) & hi_inc)
+        assert np.array_equal(pred.evaluate(arr), above & below)
+
 
 class TestQuery:
     def _join_query(self):
