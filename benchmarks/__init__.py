@@ -49,6 +49,10 @@ BENCHMARKS: dict[str, tuple[str, str]] = {
         "bench_p5_oracle",
         "plan-correctness oracle: clean run, mutation catch rate, determinism",
     ),
+    "p6": (
+        "bench_p6_fastpath",
+        "vectorized kernels + plan-cache fast path: speedups, hit rate, exactness",
+    ),
 }
 
 

@@ -1,0 +1,415 @@
+"""P6: vectorized kernels + parameterized plan-cache fast path, gated.
+
+Four properties are measured and gated:
+
+1. **Executor throughput**: the vectorized :class:`CardinalityExecutor`
+   (shared sort-merge/expand kernels, key-index cache) must be >= 10x
+   faster than the pre-kernel interpreted baseline -- the pure-Python
+   row-at-a-time :func:`repro.oracle.reference.reference_count` -- over a
+   generated workload, while producing byte-equal counts.
+2. **Interpreter throughput**: the vectorized
+   :class:`~repro.oracle.planexec.PlanInterpreter` must be >= 10x faster
+   than a row-at-a-time plan walker (scans via scalar predicate checks,
+   joins via Python dict-of-lists probing) over optimizer-produced plans,
+   again with byte-equal counts.
+3. **Plan-cache hit rate**: the parameterized serving scenario (few
+   templates, many literal bindings) must serve every request and see a
+   > 80% plan-cache hit rate.
+4. **Exactness + determinism**: counts stay byte-equal to the independent
+   reference on every fixture including the deep chain whose count
+   exceeds 2**53 (where float64 silently rounds), and two same-seed
+   cache-enabled serving runs must export byte-identical telemetry.
+
+Profiles: ``quick`` (CI smoke) or ``full``; as a script
+(``python benchmarks/bench_p6_fastpath.py --profile quick --export out.json``)
+it prints the speedup/hit-rate tables and writes the deterministic export
+(counts, cache stats, telemetry -- no timings) that CI diffs across runs.
+"""
+
+import argparse
+import json
+import os
+import time
+from collections import defaultdict
+
+from repro.bench import render_cache_stats, render_table
+from repro.engine import CardinalityExecutor
+from repro.engine.plans import JoinNode, ScanNode
+from repro.optimizer import Optimizer
+from repro.oracle.fixtures import make_deep_chain
+from repro.oracle.planexec import PlanInterpreter
+from repro.oracle.reference import _holds, reference_count
+from repro.serve.scenarios import parameterized_scenario
+from repro.sql import WorkloadGenerator
+from repro.storage.datasets import make_stats_lite
+
+_PROFILES = {
+    "quick": {
+        "scale": 0.3,
+        "exec_queries": 10,
+        "interp_queries": 6,
+        "chain_tables": 8,
+        "n_templates": 8,
+        "bindings_per_template": 10,
+        "n_sessions": 4,
+    },
+    "full": {
+        "scale": 0.5,
+        "exec_queries": 24,
+        "interp_queries": 12,
+        "chain_tables": 10,
+        "n_templates": 12,
+        "bindings_per_template": 12,
+        "n_sessions": 8,
+    },
+}
+PROFILE = os.environ.get("FASTPATH_PROFILE", "quick")
+SPEEDUP_GATE = 10.0
+HIT_RATE_GATE = 0.8
+
+
+def _profile(profile: str | None) -> dict:
+    return _PROFILES[profile or PROFILE]
+
+
+def _workload(db, seed: int, n: int):
+    return WorkloadGenerator(db, seed=seed).workload(
+        n, 1, 3, require_predicate=True
+    )
+
+
+# -- the pre-kernel interpreted plan walker (baseline, kept pure Python) ------------
+
+
+def _interpreted_scan(db, node: ScanNode) -> dict[str, list[int]]:
+    tbl = db.table(node.table)
+    cols = {p.column.column: tbl.values(p.column.column) for p in node.predicates}
+    rows = []
+    for r in range(tbl.n_rows):
+        if all(_holds(p, cols[p.column.column][r]) for p in node.predicates):
+            rows.append(r)
+    return {node.table: rows}
+
+
+def _interpreted_join(db, node: JoinNode) -> dict[str, list[int]]:
+    left = _interpreted_walk(db, node.left)
+    right = _interpreted_walk(db, node.right)
+    first, rest = node.conditions[0], node.conditions[1:]
+    if first.left.table in left:
+        l_ref, r_ref = first.left, first.right
+    else:
+        l_ref, r_ref = first.right, first.left
+    build_vals = db.table(r_ref.table).values(r_ref.column)
+    index: dict = defaultdict(list)
+    for i, rrow in enumerate(right[r_ref.table]):
+        index[build_vals[rrow]].append(i)
+    probe_vals = db.table(l_ref.table).values(l_ref.column)
+    out: dict[str, list[int]] = {t: [] for t in (*left, *right)}
+    for j, lrow in enumerate(left[l_ref.table]):
+        for i in index.get(probe_vals[lrow], ()):
+            for t, rows in left.items():
+                out[t].append(rows[j])
+            for t, rows in right.items():
+                out[t].append(rows[i])
+    for cond in rest:
+        lv = db.table(cond.left.table).values(cond.left.column)
+        rv = db.table(cond.right.table).values(cond.right.column)
+        keep = [
+            k
+            for k, (a, b) in enumerate(
+                zip(out[cond.left.table], out[cond.right.table])
+            )
+            if lv[a] == rv[b]
+        ]
+        out = {t: [rows[k] for k in keep] for t, rows in out.items()}
+    return out
+
+
+def _interpreted_walk(db, node) -> dict[str, list[int]]:
+    if isinstance(node, ScanNode):
+        return _interpreted_scan(db, node)
+    return _interpreted_join(db, node)
+
+
+def interpreted_plan_count(db, plan) -> int:
+    """Row-at-a-time plan execution: the shape of the code every consumer
+    hand-rolled before the shared kernels existed, minus the numpy."""
+    rows = _interpreted_walk(db, plan.root)
+    return len(next(iter(rows.values())))
+
+
+# -- measured passes --------------------------------------------------------------
+
+
+def executor_pass(seed: int = 0, profile: str | None = None) -> dict:
+    """Vectorized executor vs the pure-Python reference, same workload."""
+    p = _profile(profile)
+    db = make_stats_lite(scale=p["scale"], seed=seed)
+    queries = _workload(db, seed + 17, p["exec_queries"])
+
+    t0 = time.perf_counter()
+    baseline = [reference_count(db, q) for q in queries]
+    t_base = time.perf_counter() - t0
+
+    executor = CardinalityExecutor(db)
+    t0 = time.perf_counter()
+    counts = [executor.cardinality(q) for q in queries]
+    t_vec = time.perf_counter() - t0
+
+    return {
+        "n_queries": len(queries),
+        "counts": counts,
+        "baseline_counts": baseline,
+        "t_baseline_s": t_base,
+        "t_vectorized_s": t_vec,
+        "speedup": t_base / max(t_vec, 1e-9),
+    }
+
+
+def interpreter_pass(seed: int = 0, profile: str | None = None) -> dict:
+    """Vectorized plan interpreter vs the row-at-a-time walker, same plans."""
+    p = _profile(profile)
+    db = make_stats_lite(scale=p["scale"], seed=seed)
+    queries = _workload(db, seed + 29, p["interp_queries"])
+    optimizer = Optimizer(db)
+    plans = [optimizer.plan(q) for q in queries]
+
+    t0 = time.perf_counter()
+    baseline = [interpreted_plan_count(db, plan) for plan in plans]
+    t_base = time.perf_counter() - t0
+
+    interp = PlanInterpreter(db)
+    t0 = time.perf_counter()
+    counts = [interp.count(plan) for plan in plans]
+    t_vec = time.perf_counter() - t0
+
+    return {
+        "n_plans": len(plans),
+        "counts": counts,
+        "baseline_counts": baseline,
+        "t_baseline_s": t_base,
+        "t_vectorized_s": t_vec,
+        "speedup": t_base / max(t_vec, 1e-9),
+    }
+
+
+def serving_pass(seed: int = 0, profile: str | None = None):
+    """One cache-enabled parameterized serving run; returns the scenario."""
+    p = _profile(profile)
+    scenario = parameterized_scenario(
+        scale=p["scale"],
+        seed=seed,
+        n_templates=p["n_templates"],
+        bindings_per_template=p["bindings_per_template"],
+        n_sessions=p["n_sessions"],
+    )
+    report = scenario.run()
+    return scenario, report
+
+
+def fixture_counts(seed: int = 0, profile: str | None = None) -> list[dict]:
+    """Exactness rows: executor vs reference (and closed form) per fixture."""
+    p = _profile(profile)
+    rows = []
+
+    db = make_stats_lite(scale=p["scale"], seed=seed)
+    executor = CardinalityExecutor(db)
+    for i, q in enumerate(_workload(db, seed + 17, p["exec_queries"])):
+        rows.append(
+            {
+                "fixture": f"stats_lite/q{i}",
+                "count": executor.cardinality(q),
+                "reference": reference_count(db, q),
+            }
+        )
+
+    chain_db, chain_q, expected = make_deep_chain(p["chain_tables"], seed=seed)
+    rows.append(
+        {
+            "fixture": f"deep_chain/{p['chain_tables']} (> 2**53)",
+            "count": CardinalityExecutor(chain_db).cardinality(chain_q),
+            "reference": reference_count(chain_db, chain_q),
+            "closed_form": expected,
+        }
+    )
+    return rows
+
+
+# -- gates (pytest-collectable) -----------------------------------------------------
+
+
+def test_p6_executor_speedup_and_exactness():
+    result = executor_pass(seed=0)
+    assert result["counts"] == result["baseline_counts"]
+    print(
+        render_table(
+            f"P6: executor vs interpreted reference ({PROFILE})",
+            ["queries", "baseline_s", "vectorized_s", "speedup"],
+            [(
+                result["n_queries"],
+                f"{result['t_baseline_s']:.3f}",
+                f"{result['t_vectorized_s']:.3f}",
+                f"{result['speedup']:.1f}x",
+            )],
+            note=f"gate: >= {SPEEDUP_GATE:.0f}x",
+        )
+    )
+    assert result["speedup"] >= SPEEDUP_GATE, (
+        f"executor speedup {result['speedup']:.1f}x below the "
+        f"{SPEEDUP_GATE:.0f}x gate"
+    )
+
+
+def test_p6_interpreter_speedup_and_exactness():
+    result = interpreter_pass(seed=0)
+    assert result["counts"] == result["baseline_counts"]
+    print(
+        render_table(
+            f"P6: plan interpreter vs row-at-a-time walker ({PROFILE})",
+            ["plans", "baseline_s", "vectorized_s", "speedup"],
+            [(
+                result["n_plans"],
+                f"{result['t_baseline_s']:.3f}",
+                f"{result['t_vectorized_s']:.3f}",
+                f"{result['speedup']:.1f}x",
+            )],
+            note=f"gate: >= {SPEEDUP_GATE:.0f}x",
+        )
+    )
+    assert result["speedup"] >= SPEEDUP_GATE, (
+        f"interpreter speedup {result['speedup']:.1f}x below the "
+        f"{SPEEDUP_GATE:.0f}x gate"
+    )
+
+
+def test_p6_plan_cache_hit_rate():
+    scenario, report = serving_pass(seed=0)
+    stats = scenario.plan_cache.stats()
+    print(render_cache_stats(stats, title=f"P6: plan cache ({PROFILE})"))
+    assert report.n_served == scenario.n_requests, "requests were dropped"
+    assert stats["hit_rate"] > HIT_RATE_GATE, (
+        f"plan-cache hit rate {stats['hit_rate']:.2f} below the "
+        f"{HIT_RATE_GATE:.0%} gate"
+    )
+    # The cache served real traffic, not a no-op: one miss per template
+    # (plus re-plannings after any invalidation), the rest hits.
+    assert stats["hits"] + stats["misses"] == scenario.n_requests
+
+
+def test_p6_counts_byte_equal_on_fixtures():
+    rows = fixture_counts(seed=0)
+    for row in rows:
+        assert row["count"] == row["reference"], row["fixture"]
+        if "closed_form" in row:
+            assert row["count"] == row["closed_form"], row["fixture"]
+    chain = rows[-1]
+    assert chain["count"] > 2**53  # past float64 exactness
+    print(
+        render_table(
+            f"P6: fixture exactness ({PROFILE})",
+            ["fixture", "count", "matches"],
+            [(r["fixture"], r["count"], "yes") for r in rows],
+        )
+    )
+
+
+def test_p6_determinism_same_seed_exports():
+    exports, cache_stats = [], []
+    for _ in range(2):
+        scenario, _ = serving_pass(seed=3)
+        exports.append(scenario.deployment.telemetry.to_json())
+        cache_stats.append(scenario.plan_cache.stats())
+    assert exports[0] == exports[1], "same-seed cache-enabled runs diverged"
+    assert cache_stats[0] == cache_stats[1]
+
+
+# -- script entry point -------------------------------------------------------------
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--profile", choices=sorted(_PROFILES), default="quick")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--export", metavar="PATH",
+        help="write the deterministic export (counts, cache stats, "
+        "telemetry; no timings) here",
+    )
+    args = parser.parse_args(argv)
+
+    exec_result = executor_pass(seed=args.seed, profile=args.profile)
+    interp_result = interpreter_pass(seed=args.seed, profile=args.profile)
+    scenario, report = serving_pass(seed=args.seed, profile=args.profile)
+    rows = fixture_counts(seed=args.seed, profile=args.profile)
+    stats = scenario.plan_cache.stats()
+
+    print(
+        render_table(
+            f"P6: fast path ({args.profile}), seed={args.seed}",
+            ["stage", "work", "baseline_s", "vectorized_s", "speedup"],
+            [
+                (
+                    "executor",
+                    f"{exec_result['n_queries']} queries",
+                    f"{exec_result['t_baseline_s']:.3f}",
+                    f"{exec_result['t_vectorized_s']:.3f}",
+                    f"{exec_result['speedup']:.1f}x",
+                ),
+                (
+                    "interpreter",
+                    f"{interp_result['n_plans']} plans",
+                    f"{interp_result['t_baseline_s']:.3f}",
+                    f"{interp_result['t_vectorized_s']:.3f}",
+                    f"{interp_result['speedup']:.1f}x",
+                ),
+            ],
+            note=f"gate: >= {SPEEDUP_GATE:.0f}x each",
+        )
+    )
+    print(
+        render_cache_stats(
+            stats,
+            title="P6: parameterized plan cache",
+            note=f"{report.n_served}/{scenario.n_requests} served; "
+            f"gate: hit rate > {HIT_RATE_GATE:.0%}",
+        )
+    )
+
+    exact = all(
+        r["count"] == r["reference"]
+        and r["count"] == r.get("closed_form", r["count"])
+        for r in rows
+    )
+    ok = (
+        exec_result["speedup"] >= SPEEDUP_GATE
+        and interp_result["speedup"] >= SPEEDUP_GATE
+        and stats["hit_rate"] > HIT_RATE_GATE
+        and report.n_served == scenario.n_requests
+        and exact
+        and exec_result["counts"] == exec_result["baseline_counts"]
+        and interp_result["counts"] == interp_result["baseline_counts"]
+    )
+
+    if args.export:
+        # Deterministic content only: no wall-clock timings or speedups.
+        export = {
+            "profile": args.profile,
+            "seed": args.seed,
+            "executor_counts": exec_result["counts"],
+            "interpreter_counts": interp_result["counts"],
+            "fixtures": [
+                {k: str(v) for k, v in row.items()} for row in rows
+            ],
+            "plan_cache": stats,
+            "n_served": report.n_served,
+            "telemetry": json.loads(scenario.deployment.telemetry.to_json()),
+        }
+        with open(args.export, "w") as fh:
+            json.dump(export, fh, indent=2, sort_keys=True, default=str)
+            fh.write("\n")
+        print(f"fast-path report written to {args.export}")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -15,12 +15,15 @@ This package is the stand-in for PostgreSQL's executor.  It provides:
 """
 
 from repro.engine.executor import CardinalityExecutor, execute_cardinality
+from repro.engine.kernels import GroupIndex, KeyIndexCache
 from repro.engine.plans import JoinMethod, JoinNode, Plan, PlanNode, ScanMethod, ScanNode
 from repro.engine.simulator import ExecutionResult, ExecutionSimulator, SimulatorConfig
 
 __all__ = [
     "CardinalityExecutor",
     "execute_cardinality",
+    "GroupIndex",
+    "KeyIndexCache",
     "JoinMethod",
     "JoinNode",
     "Plan",

@@ -14,14 +14,33 @@ Two strategies, picked automatically:
   edges as filters.  Guarded by ``max_intermediate_rows`` so pathological
   queries fail loudly instead of exhausting memory.
 
-A :class:`CardinalityExecutor` instance memoizes results per query, since
-optimizers repeatedly ask for the same sub-query cardinalities.
+The numeric kernels (group-by-sum, semi-join lookup, sort-merge/expand
+join, key-index cache) live in :mod:`repro.engine.kernels` and are shared
+with the oracle's plan interpreter.  The module-level wrappers below
+(`_filtered_indices`, `_group_sum`, `_lookup`, ...) are kept as the live
+call path on purpose: the oracle's seeded mutations patch these names to
+re-introduce known bug classes, so they must remain where the executor
+actually dispatches through.
+
+A :class:`CardinalityExecutor` instance memoizes results per query in a
+bounded LRU, since optimizers repeatedly ask for the same sub-query
+cardinalities (and under serving the query stream is unbounded).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
+from repro.engine.kernels import (
+    _INT64_PROMOTE_LIMIT,
+    KeyIndexCache,
+    expand_matches,
+    grouped_sums,
+    lookup_sums,
+    match_counts,
+)
 from repro.sql.query import Query
 from repro.storage.catalog import Database
 
@@ -33,7 +52,13 @@ class IntermediateTooLarge(RuntimeError):
 
 
 def _filtered_indices(db: Database, query: Query, table: str) -> np.ndarray:
-    """Row indices of ``table`` passing all of the query's predicates on it."""
+    """Row indices of ``table`` passing all of the query's predicates on it.
+
+    Deliberately dispatches through ``Predicate.evaluate`` (not the compiled
+    evaluators in :mod:`repro.engine.kernels`): predicate-semantics
+    mutations patch ``evaluate``, and the differential oracle catches them
+    by this path diverging from the pure-Python reference.
+    """
     tbl = db.table(table)
     mask = np.ones(tbl.n_rows, dtype=bool)
     for pred in query.predicates_on(table):
@@ -41,48 +66,14 @@ def _filtered_indices(db: Database, query: Query, table: str) -> np.ndarray:
     return np.flatnonzero(mask)
 
 
-#: Promote int64 message passing to Python-int (object dtype) arithmetic
-#: once a float64 shadow of the running value crosses this bound.  The
-#: shadow tracks the true (integer) value to ~1e-13 relative error, so one
-#: power of two of headroom below ``2**63 - 1`` makes the check sound: any
-#: computation that could overflow int64 is promoted first.
-_INT64_PROMOTE_LIMIT = float(2**62)
-
-
 def _group_sum(keys: np.ndarray, weights: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-    """Return (unique_keys, summed_weights), integer-exact.
-
-    Weights are integer counts (int64, or object-dtype Python ints once
-    promoted).  Accumulating them in float64 silently rounds past 2**53 --
-    and long multiply chains well before that -- so sums stay in integer
-    arithmetic, promoting to arbitrary-precision Python ints when a float64
-    shadow shows the int64 range is at risk.
-    """
-    if keys.size == 0:
-        return keys, weights
-    uniq, inverse = np.unique(keys, return_inverse=True)
-    if weights.dtype != object:
-        shadow = np.zeros(uniq.shape[0])
-        np.add.at(shadow, inverse, weights.astype(np.float64))
-        if np.max(shadow, initial=0.0) < _INT64_PROMOTE_LIMIT:
-            sums = np.zeros(uniq.shape[0], dtype=np.int64)
-            np.add.at(sums, inverse, weights)
-            return uniq, sums
-        weights = weights.astype(object)
-    sums = np.zeros(uniq.shape[0], dtype=object)
-    np.add.at(sums, inverse, weights)
-    return uniq, sums
+    """Return (unique_keys, summed_weights), integer-exact (see kernels)."""
+    return grouped_sums(keys, weights)
 
 
 def _lookup(uniq: np.ndarray, sums: np.ndarray, keys: np.ndarray) -> np.ndarray:
     """Map each key to its summed weight (0 when absent)."""
-    if uniq.size == 0:
-        return np.zeros(keys.shape[0], dtype=sums.dtype if sums.size else np.int64)
-    pos = np.searchsorted(uniq, keys)
-    pos = np.clip(pos, 0, uniq.shape[0] - 1)
-    hit = uniq[pos] == keys
-    out = np.where(hit, sums[pos], 0)
-    return out
+    return lookup_sums(uniq, sums, keys)
 
 
 def _weight_product(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -121,14 +112,34 @@ def _join_graph_is_tree(query: Query) -> bool:
 
 
 class CardinalityExecutor:
-    """Exact-cardinality oracle over a database, with per-query memoization."""
+    """Exact-cardinality oracle over a database, with bounded memoization.
+
+    The per-query memo is an LRU capped at ``cache_capacity`` (serving
+    streams are unbounded; the old dict grew without limit) with hit/miss/
+    eviction counters surfaced through :meth:`cache_stats` in the same
+    shape the optimizer's ``CardinalityCache`` reports.  Join-column sort
+    indexes are shared through a :class:`~repro.engine.kernels.
+    KeyIndexCache` so repeated cyclic-join materializations never re-sort
+    an unchanged column.
+    """
 
     def __init__(
-        self, db: Database, max_intermediate_rows: int = 50_000_000
+        self,
+        db: Database,
+        max_intermediate_rows: int = 50_000_000,
+        cache_capacity: int = 100_000,
+        key_index: KeyIndexCache | None = None,
     ) -> None:
+        if cache_capacity <= 0:
+            raise ValueError(f"cache_capacity must be positive, got {cache_capacity}")
         self.db = db
         self.max_intermediate_rows = max_intermediate_rows
-        self._cache: dict[Query, int] = {}
+        self.cache_capacity = cache_capacity
+        self.key_index = key_index if key_index is not None else KeyIndexCache()
+        self._cache: "OrderedDict[Query, int]" = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
 
     def cardinality(self, query: Query) -> int:
         """Exact COUNT(*) of the query.
@@ -138,7 +149,10 @@ class CardinalityExecutor:
         """
         cached = self._cache.get(query)
         if cached is not None:
+            self._hits += 1
+            self._cache.move_to_end(query)
             return cached
+        self._misses += 1
         if not query.is_connected():
             raise ValueError(
                 f"query join graph is disconnected (cross join unsupported): {query}"
@@ -150,10 +164,26 @@ class CardinalityExecutor:
         else:
             result = self._materialized_count(query)
         self._cache[query] = result
+        while len(self._cache) > self.cache_capacity:
+            self._cache.popitem(last=False)
+            self._evictions += 1
         return result
 
     def clear_cache(self) -> None:
+        """Drop memoized results (counters survive; they describe the session)."""
         self._cache.clear()
+        self.key_index.clear()
+
+    def cache_stats(self) -> dict[str, float]:
+        """Memo stats in the shape ``render_cache_stats`` expects."""
+        total = self._hits + self._misses
+        return {
+            "entries": len(self._cache),
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "hit_rate": self._hits / total if total else 0.0,
+        }
 
     # -- acyclic: message passing --------------------------------------------------
 
@@ -205,13 +235,19 @@ class CardinalityExecutor:
 
     def _materialized_count(self, query: Query) -> int:
         # Greedy table order: start at the smallest filtered table, then
-        # repeatedly add a joined neighbor.
+        # repeatedly join in the frontier neighbor with the smallest build
+        # side.  (Declaration order used to decide ties among frontier
+        # edges, which could force a huge table in before a tiny one and
+        # trip the intermediate guard on queries a better order completes.)
         rows = {t: _filtered_indices(self.db, query, t) for t in query.tables}
         remaining = set(query.tables)
         start = min(remaining, key=lambda t: rows[t].size)
         inter: dict[str, np.ndarray] = {start: rows[start]}
         remaining.discard(start)
         done_edges: set[int] = set()
+
+        def _build_table(join) -> str:
+            return join.right.table if join.left.table in inter else join.left.table
 
         while remaining:
             candidates = [
@@ -224,29 +260,22 @@ class CardinalityExecutor:
             ]
             if not candidates:
                 raise AssertionError("connected query ran out of join edges")
-            edge_i, edge = candidates[0]
+            edge_i, edge = min(candidates, key=lambda c: rows[_build_table(c[1])].size)
             if edge.left.table in inter:
                 old_ref, new_ref = edge.left, edge.right
             else:
                 old_ref, new_ref = edge.right, edge.left
             new_table = new_ref.table
 
-            build_keys = self.db.table(new_table).values(new_ref.column)[
-                rows[new_table]
-            ]
+            build_rows = rows[new_table]
+            index = self.key_index.restricted(
+                self.db.table(new_table), new_ref.column, build_rows
+            )
             probe_keys = self.db.table(old_ref.table).values(old_ref.column)[
                 inter[old_ref.table]
             ]
-            uniq, counts_start, counts_len, perm = _hash_index(build_keys)
-            probe_pos = np.searchsorted(uniq, probe_keys)
-            probe_pos = np.clip(probe_pos, 0, max(uniq.shape[0] - 1, 0))
-            hit = (
-                uniq[probe_pos] == probe_keys
-                if uniq.size
-                else np.zeros(probe_keys.shape[0], dtype=bool)
-            )
-            match_counts = np.where(hit, counts_len[probe_pos], 0).astype(np.int64)
-            total = int(match_counts.sum())
+            probe_pos, counts = match_counts(index, probe_keys)
+            total = int(counts.sum())
             if total > self.max_intermediate_rows:
                 raise IntermediateTooLarge(
                     f"intermediate of {total} rows exceeds guard "
@@ -254,12 +283,10 @@ class CardinalityExecutor:
                 )
             # Expand: repeat each intermediate row by its match count and
             # gather the matching new-table row indices.
-            left_repeat = np.repeat(np.arange(probe_keys.shape[0]), match_counts)
-            gather = _expand_matches(
-                probe_pos, match_counts, counts_start, perm
-            )
+            left_repeat = np.repeat(np.arange(probe_keys.shape[0]), counts)
+            gather = expand_matches(index, probe_pos, counts)
             inter = {t: idx[left_repeat] for t, idx in inter.items()}
-            inter[new_table] = rows[new_table][gather]
+            inter[new_table] = build_rows[gather]
             remaining.discard(new_table)
             done_edges.add(edge_i)
 
@@ -279,41 +306,6 @@ class CardinalityExecutor:
                     done_edges.add(i)
         first = next(iter(inter.values()))
         return int(first.shape[0])
-
-
-def _hash_index(
-    keys: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Sort-based 'hash table': returns (unique_keys, group_start, group_len,
-    permutation sorting rows by key)."""
-    if keys.size == 0:
-        empty = np.zeros(0, dtype=np.int64)
-        return keys, empty, empty, empty
-    perm = np.argsort(keys, kind="stable")
-    sorted_keys = keys[perm]
-    uniq, start = np.unique(sorted_keys, return_index=True)
-    lengths = np.diff(np.append(start, sorted_keys.shape[0]))
-    return uniq, start.astype(np.int64), lengths.astype(np.int64), perm
-
-
-def _expand_matches(
-    probe_pos: np.ndarray,
-    match_counts: np.ndarray,
-    group_start: np.ndarray,
-    perm: np.ndarray,
-) -> np.ndarray:
-    """Row indices (into the build side's filtered rows) matching each probe,
-    expanded in probe order."""
-    total = int(match_counts.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    starts = np.where(match_counts > 0, group_start[probe_pos], 0)
-    # offsets within each probe's group: 0..count-1
-    cum = np.cumsum(match_counts)
-    idx = np.arange(total)
-    probe_of_idx = np.searchsorted(cum, idx, side="right")
-    offset = idx - (cum[probe_of_idx] - match_counts[probe_of_idx])
-    return perm[starts[probe_of_idx] + offset]
 
 
 def execute_cardinality(db: Database, query: Query) -> int:

@@ -19,6 +19,7 @@ from repro.optimizer.traditional import TraditionalCardinalityEstimator
 from repro.optimizer.cardcache import CardinalityCache
 from repro.optimizer.cost import PlanCoster
 from repro.optimizer.hints import HintSet
+from repro.optimizer.plancache import PlanCache, rebind_plan
 from repro.optimizer.planner import Optimizer
 
 __all__ = [
@@ -27,6 +28,8 @@ __all__ = [
     "DatabaseStats",
     "TraditionalCardinalityEstimator",
     "CardinalityCache",
+    "PlanCache",
+    "rebind_plan",
     "PlanCoster",
     "HintSet",
     "Optimizer",

@@ -1,0 +1,158 @@
+"""Parameterized plan cache: reuse compiled plans across literal bindings.
+
+Planning dominates the serving path for short queries -- exactly the
+overhead the surveyed learned optimizers are criticized for adding.  Most
+production workloads are *parameterized*: the same query template arrives
+over and over with different literals, and join-order/physical-method
+decisions rarely change with the literals.  :class:`PlanCache` exploits
+that: plans are cached under the query's literal-free
+:attr:`~repro.sql.query.Query.template_key` and replayed for new bindings
+by substituting the fresh predicates into the cached tree's scan nodes
+(:func:`rebind_plan`) -- join structure, methods and conditions are
+literal-free and carry over unchanged.
+
+Cache keys additionally pin the optimizer state
+(:func:`repro.core.interfaces.estimator_cache_tag`, so refits/feedback
+invalidate naturally) and the database's ``data_version`` (so data drift
+invalidates naturally).  Deployment-stage changes call
+:meth:`PlanCache.invalidate` explicitly -- a stage flip swaps which
+optimizer serves, and plans chosen by the previous stage must not leak
+into the next one's measurements.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable
+
+from repro.engine.plans import JoinNode, Plan, PlanNode, ScanNode
+from repro.sql.query import Query
+
+__all__ = ["PlanCache", "rebind_plan"]
+
+
+def rebind_plan(plan: Plan, query: Query) -> Plan:
+    """Re-target a cached plan at a new binding of the same template.
+
+    Scan nodes get the new query's predicates on their table; join nodes
+    (structure, methods, conditions) are literal-free and shared as-is.
+    ``query`` must have the same ``template_key`` as ``plan.query`` --
+    same tables and joins, so the rebuilt tree is valid by construction.
+    """
+    if plan.query == query:
+        return plan
+    if plan.query.template_key != query.template_key:
+        raise ValueError(
+            f"cannot rebind plan for template {plan.query.template_key!r} "
+            f"to query with template {query.template_key!r}"
+        )
+
+    def rebuild(node: PlanNode) -> PlanNode:
+        if isinstance(node, ScanNode):
+            return ScanNode(
+                table=node.table,
+                method=node.method,
+                predicates=query.predicates_on(node.table),
+            )
+        assert isinstance(node, JoinNode)
+        return JoinNode(
+            left=rebuild(node.left),
+            right=rebuild(node.right),
+            method=node.method,
+            conditions=node.conditions,
+        )
+
+    return Plan(query=query, root=rebuild(plan.root))
+
+
+class PlanCache:
+    """Bounded LRU from (template, optimizer tag, data version) to plans.
+
+    Follows the :class:`~repro.optimizer.cardcache.CardinalityCache`
+    reporting idiom: hit/miss/eviction counters, a ``stats()`` dict in
+    ``render_cache_stats`` shape (plus ``invalidations``), counters that
+    survive :meth:`clear`/:meth:`invalidate`.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[tuple, Plan]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.last_invalidation_reason: str | None = None
+
+    @staticmethod
+    def _key(query: Query, tag: tuple, data_version: int) -> tuple:
+        return (query.template_key, tag, data_version)
+
+    def lookup(self, query: Query, tag: tuple, data_version: int) -> Plan | None:
+        """Cached plan rebound to ``query``, or None; counts hit or miss."""
+        key = self._key(query, tag, data_version)
+        plan = self._entries.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._entries.move_to_end(key)
+        return rebind_plan(plan, query)
+
+    def insert(self, query: Query, tag: tuple, data_version: int, plan: Plan) -> None:
+        key = self._key(query, tag, data_version)
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_plan(
+        self,
+        query: Query,
+        tag: tuple,
+        data_version: int,
+        plan_fn: Callable[[Query], Plan],
+    ) -> tuple[Plan, bool]:
+        """``(plan, was_hit)``: the cached plan rebound, or a fresh one."""
+        plan = self.lookup(query, tag, data_version)
+        if plan is not None:
+            return plan, True
+        plan = plan_fn(query)
+        self.insert(query, tag, data_version, plan)
+        return plan, False
+
+    def invalidate(self, reason: str | None = None) -> None:
+        """Drop every entry (stage change, manual flush); keep counters."""
+        self._entries.clear()
+        self.invalidations += 1
+        self.last_invalidation_reason = reason
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "invalidations": self.invalidations,
+        }
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept; they describe the session)."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanCache(entries={len(self._entries)}, hits={self.hits}, "
+            f"misses={self.misses}, evictions={self.evictions})"
+        )

@@ -9,12 +9,25 @@ node's own pushed-down predicates, join nodes hash-join their children on
 the join node's own conditions -- and returns the row count the plan would
 really produce.  Differential checking this against the exact executor is
 what catches plans that are structurally wrong rather than merely slow.
+
+Joins and scans run on the shared kernels in :mod:`repro.engine.kernels`:
+scan predicates are compiled to boolean-mask evaluators once per node, and
+build sides that are plain filtered row sets reuse the per-column sort from
+the :class:`~repro.engine.kernels.KeyIndexCache` instead of re-sorting.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.engine.kernels import (
+    GroupIndex,
+    KeyIndexCache,
+    compile_predicates,
+    expand_matches,
+    is_strictly_increasing,
+    match_counts,
+)
 from repro.engine.plans import JoinNode, Plan, PlanNode, ScanNode
 from repro.storage.catalog import Database
 
@@ -31,11 +44,19 @@ class PlanInterpreter:
     Intermediates are dicts ``table -> row-index array`` with all arrays
     aligned (position ``i`` across the arrays is one joined output row).
     ``max_rows`` bounds any intermediate so adversarial plans fail loudly.
+    Pass a shared ``key_index`` to amortize join-column sorts with other
+    engine components (the executor, the serving console).
     """
 
-    def __init__(self, db: Database, max_rows: int = 2_000_000) -> None:
+    def __init__(
+        self,
+        db: Database,
+        max_rows: int = 2_000_000,
+        key_index: KeyIndexCache | None = None,
+    ) -> None:
         self.db = db
         self.max_rows = max_rows
+        self.key_index = key_index if key_index is not None else KeyIndexCache()
 
     def count(self, plan: Plan) -> int:
         """Row count produced by executing the plan tree as written."""
@@ -55,10 +76,10 @@ class PlanInterpreter:
 
     def _scan(self, node: ScanNode) -> np.ndarray:
         tbl = self.db.table(node.table)
-        mask = np.ones(tbl.n_rows, dtype=bool)
-        for pred in node.predicates:
-            mask &= pred.evaluate(tbl.values(pred.column.column))
-        return np.flatnonzero(mask)
+        evaluate = compile_predicates(node.predicates)
+        if evaluate is None:
+            return np.arange(tbl.n_rows, dtype=np.int64)
+        return np.flatnonzero(evaluate(tbl))
 
     def _join(
         self,
@@ -72,31 +93,26 @@ class PlanInterpreter:
             l_ref, r_ref = first.left, first.right
         else:
             l_ref, r_ref = first.right, first.left
+        # Build on the right side, probe with the left.  A leaf scan's row
+        # set is sorted/unique and can reuse the cached full-column sort;
+        # a join intermediate (gathered, duplicated rows) is indexed fresh.
+        r_rows = right[r_ref.table]
+        r_table = self.db.table(r_ref.table)
+        if is_strictly_increasing(r_rows):
+            index = self.key_index.restricted(r_table, r_ref.column, r_rows)
+        else:
+            index = GroupIndex.from_keys(r_table.values(r_ref.column)[r_rows])
         l_keys = self.db.table(l_ref.table).values(l_ref.column)[
             left[l_ref.table]
         ]
-        r_keys = self.db.table(r_ref.table).values(r_ref.column)[
-            right[r_ref.table]
-        ]
-        # Build on the right side, probe with the left.
-        order = np.argsort(r_keys, kind="stable")
-        sorted_keys = r_keys[order]
-        lo = np.searchsorted(sorted_keys, l_keys, side="left")
-        hi = np.searchsorted(sorted_keys, l_keys, side="right")
-        counts = hi - lo
+        pos, counts = match_counts(index, l_keys)
         total = int(counts.sum())
         if total > self.max_rows:
             raise PlanResultTooLarge(
                 f"join intermediate of {total} rows exceeds {self.max_rows}"
             )
         left_take = np.repeat(np.arange(l_keys.shape[0]), counts)
-        if total:
-            offsets = np.arange(total) - np.repeat(
-                np.cumsum(counts) - counts, counts
-            )
-            right_take = order[np.repeat(lo, counts) + offsets]
-        else:
-            right_take = np.zeros(0, dtype=np.int64)
+        right_take = expand_matches(index, pos, counts)
         out = {t: idx[left_take] for t, idx in left.items()}
         out.update({t: idx[right_take] for t, idx in right.items()})
         for cond in rest:

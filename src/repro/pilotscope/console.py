@@ -25,6 +25,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 from repro.core.errors import ConfigError, DriverError, EstimationError
+from repro.core.interfaces import estimator_cache_tag
 from repro.faults.resilience import RetryPolicy
 from repro.pilotscope.driver import DriverConfig
 from repro.pilotscope.interactor import DBInteractor, ExecutionOutcome
@@ -65,6 +66,7 @@ class PilotScopeConsole:
         call_timeout_ms: float | None = None,
         fallback_to_native: bool = True,
         telemetry=None,
+        plan_cache=None,
     ) -> None:
         """``max_log_entries`` caps :attr:`query_log` (oldest entries are
         dropped first) so sustained traffic cannot grow memory without
@@ -77,7 +79,16 @@ class PilotScopeConsole:
         natively; ``fallback_to_native=False`` re-raises driver errors
         once retries are exhausted instead of degrading.  ``telemetry``
         is an optional :class:`repro.serve.TelemetryBus` receiving
-        ``console.*`` counters."""
+        ``console.*`` counters.
+
+        ``plan_cache`` is an optional
+        :class:`repro.optimizer.PlanCache`: natively-served queries (no
+        active driver, or a driver that degraded) reuse compiled plans
+        across literal bindings of the same template instead of
+        re-planning, keyed on optimizer state and the database's
+        ``data_version``.  It engages only when the interactor exposes
+        the simulated-PostgreSQL surface (``optimizer`` / ``simulator`` /
+        ``db``); other interactors keep their ``execute_default``."""
         self.interactor = interactor
         self._drivers: dict[str, _DriverSlot] = {}
         self.query_log: deque[QueryLogEntry] = deque(maxlen=max_log_entries)
@@ -89,6 +100,7 @@ class PilotScopeConsole:
         self.call_timeout_ms = call_timeout_ms
         self.fallback_to_native = fallback_to_native
         self.telemetry = telemetry
+        self.plan_cache = plan_cache
         self.driver_errors = 0
         self.retries = 0
         self.native_fallbacks = 0
@@ -196,6 +208,31 @@ class PilotScopeConsole:
             return None
         return outcome
 
+    def _execute_native(self, query: Query) -> ExecutionOutcome:
+        """Native execution, through the plan cache when one is wired.
+
+        A cache hit replays the template's compiled plan with this
+        query's literals substituted into the scans (prepared-statement
+        semantics); a miss plans normally and populates the cache.
+        """
+        cache = self.plan_cache
+        optimizer = getattr(self.interactor, "optimizer", None)
+        simulator = getattr(self.interactor, "simulator", None)
+        db = getattr(self.interactor, "db", None)
+        if cache is None or optimizer is None or simulator is None or db is None:
+            return self.interactor.execute_default(query)
+        tag = estimator_cache_tag(optimizer.estimator)
+        plan, hit = cache.get_or_plan(
+            query, tag, db.data_version, optimizer.plan
+        )
+        self._incr("plan_cache.hits" if hit else "plan_cache.misses")
+        result = simulator.execute(plan)
+        return ExecutionOutcome(
+            cardinality=result.cardinality,
+            latency_ms=result.latency_ms,
+            plan=plan,
+        )
+
     def execute(self, sql_or_query: str | Query) -> ExecutionOutcome:
         """Execute user SQL, transparently through the active driver."""
         query = (
@@ -211,7 +248,7 @@ class PilotScopeConsole:
             if outcome is not None:
                 served_by = driver.name
         if outcome is None:
-            outcome = self.interactor.execute_default(query)
+            outcome = self._execute_native(query)
         self.query_log.append(
             QueryLogEntry(
                 sql=query.to_sql(),

@@ -42,6 +42,7 @@ from repro.serve.scenarios import (
     default_chaos_plan,
     drift_scenario,
     injected_regression_scenario,
+    parameterized_scenario,
     steady_state_scenario,
 )
 from repro.serve.telemetry import Histogram, TelemetryBus, TraceRecord
@@ -67,5 +68,6 @@ __all__ = [
     "default_chaos_plan",
     "drift_scenario",
     "injected_regression_scenario",
+    "parameterized_scenario",
     "steady_state_scenario",
 ]

@@ -34,9 +34,12 @@ from dataclasses import dataclass
 from statistics import fmean
 
 from repro.core.errors import ConfigError
+from repro.core.interfaces import estimator_cache_tag
 from repro.e2e.loop import EpisodeResult
+from repro.engine.plans import Plan
 from repro.engine.simulator import ExecutionSimulator
 from repro.faults.resilience import BreakerState, CircuitBreaker
+from repro.optimizer.plancache import PlanCache
 from repro.optimizer.planner import Optimizer
 from repro.regression import GuardChain
 from repro.serve.telemetry import TelemetryBus
@@ -115,6 +118,7 @@ class DeploymentManager:
         experience=None,
         registry=None,
         model_version: str | None = None,
+        plan_cache: PlanCache | None = None,
     ) -> None:
         """``breaker`` guards the learned optimizer: exceptions and
         latency-budget blow-outs from ``choose_plan`` are recorded as
@@ -133,7 +137,15 @@ class DeploymentManager:
         ``registry`` is an optional :class:`repro.lifecycle.ModelRegistry`
         and ``model_version`` the registry version id of ``learned``; when
         both are set, every stage transition (promotion, rollback,
-        :meth:`deploy`) is recorded back into the version's lineage."""
+        :meth:`deploy`) is recorded back into the version's lineage.
+
+        ``plan_cache`` is an optional :class:`repro.optimizer.PlanCache`
+        serving the *native* plannings (the serving baseline, the shadow
+        baseline and the degraded path): same-template queries reuse the
+        compiled plan across literal bindings.  Every stage transition
+        invalidates it -- a stage flip changes what is being measured,
+        and plans cached under the previous stage must not leak into the
+        next one's comparisons."""
         if not 0.0 < canary_fraction <= 1.0:
             raise ConfigError("canary_fraction must be in (0, 1]")
         if min_samples < 1 or window < min_samples:
@@ -161,12 +173,15 @@ class DeploymentManager:
         self.experience = experience
         self.registry = registry
         self.model_version = model_version
+        self.plan_cache = plan_cache
         self.queries_served = 0
         self.learned_failures = 0
         self.degraded_serves = 0
         self._regressions: list[float] = []  # rolling, len <= window
         if hasattr(native, "cache_stats"):
             self.telemetry.attach_gauge("cardinality_cache", native.cache_stats)
+        if plan_cache is not None:
+            self.telemetry.attach_gauge("plan_cache", plan_cache.stats)
         if experience is not None and hasattr(experience, "stats"):
             self.telemetry.attach_gauge("experience_store", experience.stats)
         if breaker is not None:
@@ -211,6 +226,9 @@ class DeploymentManager:
         )
         self.stage = to
         self._regressions.clear()
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate(reason=f"stage:{to.value}")
+            self.telemetry.incr("plan_cache.invalidations")
         if self.registry is not None and self.model_version is not None:
             self.registry.record_stage(
                 self.model_version,
@@ -303,6 +321,17 @@ class DeploymentManager:
             return self.is_canary_query(query)
         return False
 
+    def _native_plan(self, query: Query) -> Plan:
+        """Native planning, through the plan cache when one is wired."""
+        if self.plan_cache is None:
+            return self.native.plan(query)
+        tag = estimator_cache_tag(self.native.estimator)
+        plan, hit = self.plan_cache.get_or_plan(
+            query, tag, self.native.db.data_version, self.native.plan
+        )
+        self.telemetry.incr("plan_cache.hits" if hit else "plan_cache.misses")
+        return plan
+
     def serve(self, query: Query) -> ServeDecision:
         """Serve one query according to the current stage."""
         stage = self.stage  # snapshot: transitions below affect later queries
@@ -319,7 +348,7 @@ class DeploymentManager:
         return decision
 
     def _serve_native(self, query: Query, stage: Stage) -> ServeDecision:
-        native_plan = self.native.plan(query)
+        native_plan = self._native_plan(query)
         result = self.simulator.execute(native_plan)
         shadow_latency = None
         if stage is Stage.SHADOW:
@@ -386,7 +415,7 @@ class DeploymentManager:
         learned path entirely (no feedback -- the model is suspect)."""
         self.degraded_serves += 1
         self.telemetry.incr("deployment.degraded")
-        native_plan = self.native.plan(query)
+        native_plan = self._native_plan(query)
         result = self.simulator.execute(native_plan)
         return ServeDecision(
             query=query,
@@ -417,7 +446,7 @@ class DeploymentManager:
                 return self._serve_degraded(query, stage)
         if self.breaker is not None:
             self.breaker.record_success()
-        native_plan = self.native.plan(query)
+        native_plan = self._native_plan(query)
         if self.guard is not None:
             candidate = self.guard(query, candidate, native_plan)
         result = self.simulator.execute(candidate.plan)

@@ -250,6 +250,14 @@ class ServingRuntime:
         )
         self.hooks = dict(hooks) if hooks else {}
         self.auditor = auditor
+        # Surface the backend's plan cache (deployment manager or console)
+        # in every telemetry snapshot, like the cardinality cache.
+        plan_cache = getattr(backend, "plan_cache", None)
+        if plan_cache is None:
+            console = getattr(backend, "console", None)
+            plan_cache = getattr(console, "plan_cache", None)
+        if plan_cache is not None and hasattr(plan_cache, "stats"):
+            self.telemetry.attach_gauge("plan_cache", plan_cache.stats)
 
     # -- the execution core (always entered in global_seq order) -----------------
 

@@ -39,6 +39,7 @@ from repro.faults import (
     FaultSpec,
 )
 from repro.optimizer.hints import HintSet
+from repro.optimizer.plancache import PlanCache
 from repro.optimizer.planner import Optimizer
 from repro.optimizer.traditional import TraditionalCardinalityEstimator
 from repro.oracle.audit import OnlineAuditor
@@ -62,6 +63,7 @@ __all__ = [
     "steady_state_scenario",
     "drift_scenario",
     "injected_regression_scenario",
+    "parameterized_scenario",
     "default_chaos_plan",
     "chaos_scenario",
 ]
@@ -125,6 +127,8 @@ class ServingScenario:
     #: set when the scenario was assembled with ``audit_every``: the online
     #: oracle sampling served results (see :class:`repro.oracle.OnlineAuditor`)
     auditor: OnlineAuditor | None = None
+    #: set on parameterized scenarios: the plan cache serving native plannings
+    plan_cache: PlanCache | None = None
 
     def run(self) -> RunReport:
         return self.runtime.run(self.schedule)
@@ -150,6 +154,8 @@ def _assemble(
     learned_wrap=None,
     hooks: dict | None = None,
     audit_every: int | None = None,
+    plan_cache: PlanCache | None = None,
+    workload_fn=None,
 ) -> ServingScenario:
     db = make_stats_lite(scale=scale, seed=seed)
     native = Optimizer(db)
@@ -166,10 +172,14 @@ def _assemble(
         regression_threshold=regression_threshold,
         window=window,
         min_samples=min_samples,
+        plan_cache=plan_cache,
     )
-    queries = WorkloadGenerator(db, seed=seed + 1).workload(
-        n_queries, 2, 4, require_predicate=True
-    )
+    if workload_fn is not None:
+        queries = workload_fn(db)
+    else:
+        queries = WorkloadGenerator(db, seed=seed + 1).workload(
+            n_queries, 2, 4, require_predicate=True
+        )
     schedule = build_schedule(queries, n_sessions, seed=seed)
     auditor = (
         OnlineAuditor(db, every=audit_every) if audit_every is not None else None
@@ -186,6 +196,7 @@ def _assemble(
         runtime=runtime,
         schedule=schedule,
         auditor=auditor,
+        plan_cache=plan_cache,
     )
 
 
@@ -263,6 +274,47 @@ def drift_scenario(
 
     scenario.runtime.hooks[scenario.n_requests // 2] = _drift
     return scenario
+
+
+def parameterized_scenario(
+    *,
+    scale: float = 0.3,
+    seed: int = 0,
+    n_templates: int = 8,
+    bindings_per_template: int = 10,
+    n_sessions: int = 8,
+    config: RuntimeConfig | None = None,
+    plan_cache: PlanCache | None = None,
+) -> ServingScenario:
+    """A prepared-statement stream served through the plan-cache fast path.
+
+    The workload is ``n_templates`` query templates arriving interleaved
+    with ``bindings_per_template`` literal bindings each; the deployment
+    serves in SHADOW (every query planned natively, the staged model
+    evaluated off-path), so each template is planned once and every later
+    binding replays the cached plan.  Expected hit rate:
+    ``1 - 1/bindings_per_template`` -- 90% at the defaults.
+    """
+    cache = plan_cache if plan_cache is not None else PlanCache()
+    return _assemble(
+        name="parameterized",
+        scale=scale,
+        seed=seed,
+        n_queries=n_templates * bindings_per_template,
+        n_sessions=n_sessions,
+        stage=Stage.SHADOW,
+        canary_fraction=0.5,
+        regression_threshold=2.5,
+        window=40,
+        min_samples=15,
+        config=config,
+        plan_cache=cache,
+        workload_fn=lambda db: WorkloadGenerator(
+            db, seed=seed + 1
+        ).parameterized_workload(
+            n_templates, bindings_per_template, 2, 4, require_predicate=True
+        ),
+    )
 
 
 def injected_regression_scenario(

@@ -213,6 +213,74 @@ class WorkloadGenerator:
             queries.append(Query((table,), (), preds))
         return queries
 
+    def _rebind_simple(self, pred: Predicate) -> Predicate:
+        """A fresh binding of one simple predicate: same column, same
+        operator, same IN arity, new data-sampled literals."""
+        values = self.db.table(pred.column.table).values(pred.column.column)
+        pick = lambda: float(values[self.rng.integers(values.shape[0])])  # noqa: E731
+        if pred.op is Op.BETWEEN:
+            a, b = pick(), pick()
+            return Predicate(pred.column, Op.BETWEEN, (min(a, b), max(a, b)))
+        if pred.op is Op.IN:
+            # Arity is part of the template (``IN (?, ?)``): draw until we
+            # have exactly as many distinct values; a column with too few
+            # distinct values keeps the original binding.
+            k = len(pred.value)  # type: ignore[arg-type]
+            chosen: set[float] = set()
+            for _ in range(50):
+                chosen.add(pick())
+                if len(chosen) == k:
+                    return Predicate(pred.column, Op.IN, frozenset(chosen))
+            return Predicate(pred.column, Op.IN, pred.value)
+        return Predicate(pred.column, pred.op, pick())
+
+    def rebind(self, query: Query) -> Query:
+        """A new parameter binding of ``query``: identical template
+        (:attr:`~repro.sql.query.Query.template_key`), fresh literals."""
+        preds: list = []
+        for p in query.predicates:
+            if isinstance(p, OrPredicate):
+                preds.append(
+                    OrPredicate(
+                        p.column,
+                        tuple(self._rebind_simple(part) for part in p.parts),
+                    )
+                )
+            else:
+                preds.append(self._rebind_simple(p))
+        return Query(query.tables, query.joins, tuple(preds))
+
+    def parameterized_workload(
+        self,
+        n_templates: int,
+        bindings_per_template: int,
+        min_tables: int = 1,
+        max_tables: int = 4,
+        max_preds_per_table: int = 2,
+        require_predicate: bool = True,
+    ) -> list[Query]:
+        """A prepared-statement-style stream: few templates, many bindings.
+
+        Draws ``n_templates`` random queries, then emits
+        ``bindings_per_template`` rounds over them round-robin (the first
+        round is the template itself, later rounds are :meth:`rebind`
+        draws) -- the interleaved arrival pattern a plan cache sees in
+        production.
+        """
+        if n_templates < 1 or bindings_per_template < 1:
+            raise ValueError("need n_templates >= 1 and bindings_per_template >= 1")
+        templates = [
+            self.random_query(
+                min_tables, max_tables, max_preds_per_table, require_predicate
+            )
+            for _ in range(n_templates)
+        ]
+        out: list[Query] = []
+        for round_i in range(bindings_per_template):
+            for t in templates:
+                out.append(t if round_i == 0 else self.rebind(t))
+        return out
+
     def join_template_workload(
         self, tables: list[str], n_queries: int, max_preds_per_table: int = 2
     ) -> list[Query]:

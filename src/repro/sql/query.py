@@ -23,6 +23,7 @@ __all__ = [
     "Join",
     "Query",
     "query_hash",
+    "predicate_template",
 ]
 
 
@@ -370,6 +371,33 @@ class Query:
         return len(seen) == len(self.tables)
 
     @property
+    def template_key(self) -> str:
+        """Literal-free query identity: ``cache_key`` with literals as ``?``.
+
+        Two queries that differ only in predicate literals (same tables,
+        same joins, same predicated columns/operators, same IN arity) share
+        a template key -- the prepared-statement identity the
+        :class:`repro.optimizer.PlanCache` reuses compiled plans across.
+
+        Predicate templates are rendered and then sorted *as templates*:
+        ``__post_init__`` orders predicates by their literal-bearing text,
+        so two bindings of one template can disagree on predicate order,
+        and rendering in that order would split the template.  ``query_hash``
+        is untouched -- canary splits, dedup and audit sampling still key on
+        the exact query.
+        """
+        key = self.__dict__.get("_template_key")
+        if key is None:
+            where = [str(j) for j in self.joins] + sorted(
+                predicate_template(p) for p in self.predicates
+            )
+            key = f"SELECT COUNT(*) FROM {', '.join(self.tables)}"
+            if where:
+                key += " WHERE " + " AND ".join(where)
+            object.__setattr__(self, "_template_key", key)
+        return key
+
+    @property
     def cache_key(self) -> str:
         """Canonical sub-query identity: the memoized ``to_sql`` text.
 
@@ -394,6 +422,24 @@ class Query:
 
     def __str__(self) -> str:
         return self.to_sql()
+
+
+def predicate_template(pred: Predicate | OrPredicate) -> str:
+    """Render a predicate with its literals replaced by ``?`` placeholders.
+
+    Structure that changes plan shape is preserved: BETWEEN keeps both
+    placeholders, IN keeps its arity (``IN (?, ?, ?)``), OR parts are
+    templated individually and sorted so part order never depends on the
+    literals either.
+    """
+    if pred.op is Op.OR:
+        return "(" + " OR ".join(sorted(predicate_template(p) for p in pred.parts)) + ")"
+    if pred.op is Op.BETWEEN:
+        return f"{pred.column} BETWEEN ? AND ?"
+    if pred.op is Op.IN:
+        marks = ", ".join("?" for _ in pred.value)  # type: ignore[arg-type]
+        return f"{pred.column} IN ({marks})"
+    return f"{pred.column} {pred.op.value} ?"
 
 
 def query_hash(query: Query) -> str:

@@ -265,6 +265,152 @@ class TestMaterializedCount:
         assert roomy.cardinality(q) == brute_force_count(tiny_db, q)
 
 
+class TestExecutorMemoLRU:
+    """The per-query memo is bounded (serving streams are unbounded)."""
+
+    def _query(self, bound):
+        return Query(
+            ("users",), (), (Predicate(ColumnRef("users", "age"), Op.LE, bound),)
+        )
+
+    def test_eviction_at_capacity(self, tiny_db):
+        ex = CardinalityExecutor(tiny_db, cache_capacity=2)
+        for bound in (0.0, 1.0, 2.0):
+            ex.cardinality(self._query(bound))
+        stats = ex.cache_stats()
+        assert stats["entries"] == 2
+        assert stats["evictions"] == 1
+        # The oldest entry (bound 0.0) was evicted, the newest two remain.
+        assert self._query(0.0) not in ex._cache
+        assert self._query(2.0) in ex._cache
+
+    def test_lru_order_recency_not_insertion(self, tiny_db):
+        ex = CardinalityExecutor(tiny_db, cache_capacity=2)
+        ex.cardinality(self._query(0.0))
+        ex.cardinality(self._query(1.0))
+        ex.cardinality(self._query(0.0))  # refresh 0.0
+        ex.cardinality(self._query(2.0))  # must evict 1.0, not 0.0
+        assert self._query(0.0) in ex._cache
+        assert self._query(1.0) not in ex._cache
+
+    def test_hit_miss_counters(self, tiny_db):
+        ex = CardinalityExecutor(tiny_db)
+        q = self._query(2.0)
+        ex.cardinality(q)
+        ex.cardinality(q)
+        ex.cardinality(q)
+        stats = ex.cache_stats()
+        assert stats["hits"] == 2 and stats["misses"] == 1
+        assert stats["hit_rate"] == pytest.approx(2 / 3)
+
+    def test_stats_render(self, tiny_db):
+        # The dict must be consumable by the shared cache-stats renderer.
+        from repro.bench import render_cache_stats
+
+        ex = CardinalityExecutor(tiny_db)
+        ex.cardinality(self._query(1.0))
+        text = render_cache_stats(ex.cache_stats())
+        assert "hit" in text.lower()
+
+    def test_invalid_capacity(self, tiny_db):
+        with pytest.raises(ValueError, match="cache_capacity"):
+            CardinalityExecutor(tiny_db, cache_capacity=0)
+
+    def test_clear_cache_drops_key_indexes(self, tiny_db):
+        ex = CardinalityExecutor(tiny_db)
+        q = Query(
+            ("comments", "posts", "users"),
+            (
+                Join(ColumnRef("posts", "uid"), ColumnRef("users", "id")),
+                Join(ColumnRef("comments", "pid"), ColumnRef("posts", "id")),
+                Join(ColumnRef("comments", "cuid"), ColumnRef("users", "id")),
+            ),
+        )
+        ex.cardinality(q)
+        assert len(ex.key_index) > 0
+        ex.clear_cache()
+        assert len(ex.key_index) == 0
+
+
+class TestEdgeOrderRegression:
+    """Regression: `_materialized_count` used to pick frontier edges in
+    declaration order (`candidates[0]`), which could force a huge build
+    table in before a tiny one and trip `IntermediateTooLarge` on cyclic
+    queries that a smallest-build-side order completes comfortably.
+    """
+
+    @pytest.fixture(scope="class")
+    def cyclic_db(self):
+        # Triangle beta -- mid -- src.  Join declaration order (after
+        # Query normalization/sorting) is:
+        #   [beta.a = src.a, beta.c = mid.c, mid.k = src.k]
+        # Materialization starts at `mid` (smallest filtered table, 50
+        # rows); its frontier candidates are `beta.c = mid.c` (build beta,
+        # 2000 rows, constant column: every probe matches all 2000 rows ->
+        # a 100,000-row intermediate) and `mid.k = src.k` (build src, 100
+        # rows, unique keys -> 50 rows).  The old declaration-order pick
+        # took the first and blew the guard; smallest-build-side takes the
+        # second and peaks at 10,000 rows.
+        beta = Table(
+            "beta",
+            [Column("a", np.arange(2000) % 10), Column("c", np.full(2000, 7))],
+        )
+        mid = Table(
+            "mid", [Column("k", np.arange(50)), Column("c", np.full(50, 7))]
+        )
+        src = Table(
+            "src", [Column("k", np.arange(100)), Column("a", np.arange(100) % 10)]
+        )
+        return Database(
+            "cyc",
+            [beta, mid, src],
+            [
+                JoinEdge("beta", "a", "src", "a"),
+                JoinEdge("beta", "c", "mid", "c"),
+                JoinEdge("mid", "k", "src", "k"),
+            ],
+        )
+
+    @pytest.fixture(scope="class")
+    def triangle(self):
+        return Query(
+            ("beta", "mid", "src"),
+            (
+                Join(ColumnRef("beta", "a"), ColumnRef("src", "a")),
+                Join(ColumnRef("beta", "c"), ColumnRef("mid", "c")),
+                Join(ColumnRef("mid", "k"), ColumnRef("src", "k")),
+            ),
+        )
+
+    def test_fixture_join_order(self, triangle):
+        # The premise of the regression: the bad (constant-column) edge
+        # precedes the good one in declaration order.
+        assert [str(j) for j in triangle.joins] == [
+            "beta.a = src.a",
+            "beta.c = mid.c",
+            "mid.k = src.k",
+        ]
+
+    def test_completes_under_guard_old_order_tripped(self, cyclic_db, triangle):
+        # Old order needed a 100,000-row intermediate; guard is 20,000.
+        ex = CardinalityExecutor(cyclic_db, max_intermediate_rows=20_000)
+        assert ex.cardinality(triangle) == 10_000
+
+    def test_count_matches_reference(self, cyclic_db, triangle):
+        from repro.oracle.reference import reference_count
+
+        assert execute_cardinality(cyclic_db, triangle) == reference_count(
+            cyclic_db, triangle
+        )
+
+    def test_guard_still_live(self, cyclic_db, triangle):
+        # The new order still materializes 10,000 rows; a tighter guard
+        # must keep raising rather than truncating.
+        ex = CardinalityExecutor(cyclic_db, max_intermediate_rows=5_000)
+        with pytest.raises(IntermediateTooLarge):
+            ex.cardinality(triangle)
+
+
 class TestPlans:
     def _two_table_plan(self, method=JoinMethod.HASH):
         q = Query(
