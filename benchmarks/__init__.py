@@ -53,6 +53,10 @@ BENCHMARKS: dict[str, tuple[str, str]] = {
         "bench_p6_fastpath",
         "vectorized kernels + plan-cache fast path: speedups, hit rate, exactness",
     ),
+    "p7": (
+        "bench_p7_rewrite",
+        "learned query rewriting: oracle cleanliness, promotion gates, feedback",
+    ),
 }
 
 

@@ -15,6 +15,7 @@ from repro.bench.report import (
     render_cache_stats,
     render_fault_stats,
     render_lifecycle_stats,
+    render_rewrite_stats,
     render_table,
 )
 from repro.bench.io import load_workload, save_workload
@@ -38,6 +39,7 @@ __all__ = [
     "render_cache_stats",
     "render_fault_stats",
     "render_lifecycle_stats",
+    "render_rewrite_stats",
     "save_workload",
     "load_workload",
     "WorkloadSpec",

@@ -9,6 +9,7 @@ __all__ = [
     "render_cache_stats",
     "render_fault_stats",
     "render_lifecycle_stats",
+    "render_rewrite_stats",
 ]
 
 
@@ -113,3 +114,20 @@ def render_lifecycle_stats(
     if not rows:
         rows = [("-", "-", 0)]
     return render_table(title, ["component", "stat", "value"], rows, note=note)
+
+
+def render_rewrite_stats(
+    stats: dict, *, title: str = "rewrite leaderboard", note: str | None = None
+) -> str:
+    """Render :meth:`repro.rewrite.PromotionLeaderboard.stats` output.
+
+    The promotion funnel (submitted -> candidates -> validated ->
+    promoted / demoted / rejected) plus the learning-side counters
+    (anti-patterns, weight-based skips) as one (stat, value) row each, in
+    sorted order -- the same shape as the cache / fault / lifecycle
+    renderers.
+    """
+    rows = [(key, stats[key]) for key in sorted(stats)]
+    if not rows:
+        rows = [("-", 0)]
+    return render_table(title, ["stat", "value"], rows, note=note)

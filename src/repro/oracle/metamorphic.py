@@ -1,8 +1,9 @@
-"""Metamorphic query transforms and the suite that checks them.
+"""Metamorphic query suite over the shared result-preserving transforms.
 
 Metamorphic testing sidesteps the oracle problem: we may not know a query's
 true count a priori, but we *do* know that certain rewrites cannot change
-it.  Each transform here is result-preserving by construction --
+it.  The transforms themselves live in :mod:`repro.sql.transforms` (one
+registry shared with the rewrite subsystem's validator) --
 
 - **add_tautology**: conjoin ``col <= max(col over the data)``, which every
   row satisfies;
@@ -16,7 +17,8 @@ it.  Each transform here is result-preserving by construction --
   the cardinality cache, canary split and experience store all rely on.
 
 The suite runs each applicable transform over a workload, asserting the
-exact executor returns the same count for original and transformed query.
+exact executor returns the same count for original and transformed query
+(via the shared :func:`repro.sql.transforms.verify_transform`).
 """
 
 from __future__ import annotations
@@ -25,108 +27,28 @@ from typing import Callable
 
 from repro.engine.executor import CardinalityExecutor, IntermediateTooLarge
 from repro.oracle.report import Violation
-from repro.sql.query import (
-    ColumnRef,
-    Join,
-    Op,
-    OrPredicate,
-    Predicate,
-    Query,
-    query_hash,
+from repro.sql.query import Query, query_hash
+from repro.sql.transforms import (
+    TRANSFORM_REGISTRY,
+    add_tautology,
+    commute_joins,
+    expand_in_to_or,
+    permute_tables,
+    split_between,
+    verify_transform,
 )
 from repro.storage.catalog import Database
 
 __all__ = ["MetamorphicSuite", "TRANSFORMS"]
 
 
-def _columns_used(query: Query) -> list:
-    """ColumnRefs mentioned by the query's predicates, in canonical order."""
-    return [p.column for p in query.predicates]
-
-
-def add_tautology(db: Database, query: Query) -> Query | None:
-    """Conjoin a predicate every row satisfies: ``col <= data max``."""
-    cols = _columns_used(query)
-    if not cols:
-        # Fall back to the first column of the first table.
-        table = query.tables[0]
-        names = db.table(table).column_names
-        if not names:
-            return None
-        ref = ColumnRef(table, names[0])
-    else:
-        ref = cols[0]
-    ceiling = db.table(ref.table).column(ref.column).max
-    taut = Predicate(ref, Op.LE, ceiling)
-    if taut in query.predicates:
-        return None
-    return Query(query.tables, query.joins, query.predicates + (taut,))
-
-
-def split_between(db: Database, query: Query) -> Query | None:
-    """Split the first BETWEEN predicate into two range conjuncts."""
-    for i, p in enumerate(query.predicates):
-        if p.op is Op.BETWEEN:
-            lo, hi = p.value
-            rest = query.predicates[:i] + query.predicates[i + 1 :]
-            split = (
-                Predicate(p.column, Op.GE, float(lo)),
-                Predicate(p.column, Op.LE, float(hi)),
-            )
-            return Query(query.tables, query.joins, rest + split)
-    return None
-
-
-def expand_in_to_or(db: Database, query: Query) -> Query | None:
-    """Expand the first IN predicate into a disjunction of equalities."""
-    for i, p in enumerate(query.predicates):
-        if p.op is Op.IN:
-            values = sorted(p.value)
-            rest = query.predicates[:i] + query.predicates[i + 1 :]
-            if len(values) == 1:
-                expanded = Predicate(p.column, Op.EQ, float(values[0]))
-            else:
-                expanded = OrPredicate(
-                    p.column,
-                    tuple(
-                        Predicate(p.column, Op.EQ, float(v)) for v in values
-                    ),
-                )
-            return Query(query.tables, query.joins, rest + (expanded,))
-    return None
-
-
-def permute_tables(db: Database, query: Query) -> Query | None:
-    """Rebuild with the FROM list (and join/predicate lists) reversed."""
-    if query.n_tables < 2:
-        return None
-    return Query(
-        tuple(reversed(query.tables)),
-        tuple(reversed(query.joins)),
-        tuple(reversed(query.predicates)),
-    )
-
-
-def commute_joins(db: Database, query: Query) -> Query | None:
-    """Swap the two sides of every join condition."""
-    if not query.joins:
-        return None
-    return Query(
-        query.tables,
-        tuple(Join(j.right, j.left) for j in query.joins),
-        query.predicates,
-    )
-
-
+#: Backward-compatible view of the shared registry:
 #: transform name -> (fn, must_preserve_query_hash)
 TRANSFORMS: dict[
     str, tuple[Callable[[Database, Query], Query | None], bool]
 ] = {
-    "add_tautology": (add_tautology, False),
-    "split_between": (split_between, False),
-    "expand_in_to_or": (expand_in_to_or, False),
-    "permute_tables": (permute_tables, True),
-    "commute_joins": (commute_joins, True),
+    name: (t.fn, t.preserves_query_hash)
+    for name, t in TRANSFORM_REGISTRY.items()
 }
 
 
@@ -151,12 +73,15 @@ class MetamorphicSuite:
         except IntermediateTooLarge:
             self.skipped += 1
             return violations
-        for name, (transform, hash_preserving) in TRANSFORMS.items():
-            transformed = transform(self.db, query)
+        for name, transform in TRANSFORM_REGISTRY.items():
+            transformed = transform.apply(self.db, query)
             if transformed is None:
                 continue
             self.checks_run += 1
-            if hash_preserving and query_hash(transformed) != qh:
+            if (
+                transform.preserves_query_hash
+                and query_hash(transformed) != qh
+            ):
                 violations.append(
                     Violation(
                         layer="metamorphic",
@@ -167,19 +92,24 @@ class MetamorphicSuite:
                         detail=transformed.to_sql(),
                     )
                 )
-            try:
-                count = self.executor.cardinality(transformed)
-            except IntermediateTooLarge:
+            outcome = verify_transform(
+                self.db,
+                query,
+                transformed,
+                baseline=baseline,
+                executor=self.executor,
+            )
+            if outcome.skipped:
                 self.skipped += 1
                 continue
-            if count != baseline:
+            if outcome.failed:
                 violations.append(
                     Violation(
                         layer="metamorphic",
                         check=name,
                         subject=qh,
-                        expected=str(baseline),
-                        actual=str(count),
+                        expected=str(outcome.expected),
+                        actual=str(outcome.actual),
                         detail=transformed.to_sql(),
                     )
                 )

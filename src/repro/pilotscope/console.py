@@ -167,6 +167,7 @@ class PilotScopeConsole:
             if slot.active and slot.driver.injection_type in (
                 "query_optimizer",
                 "cardinality",
+                "query_rewrite",
             ):
                 return slot.driver
         return None

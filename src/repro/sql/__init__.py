@@ -19,6 +19,15 @@ from repro.sql.query import (
 )
 from repro.sql.parser import parse_query, SQLSyntaxError
 from repro.sql.generator import WorkloadGenerator
+from repro.sql.transforms import (
+    ResultPreservingTransform,
+    TRANSFORM_REGISTRY,
+    VerifyOutcome,
+    apply_transform,
+    exact_count,
+    verify_transform,
+    verify_union,
+)
 
 __all__ = [
     "ColumnRef",
@@ -31,4 +40,11 @@ __all__ = [
     "parse_query",
     "SQLSyntaxError",
     "WorkloadGenerator",
+    "ResultPreservingTransform",
+    "TRANSFORM_REGISTRY",
+    "VerifyOutcome",
+    "apply_transform",
+    "exact_count",
+    "verify_transform",
+    "verify_union",
 ]

@@ -281,6 +281,193 @@ class WorkloadGenerator:
                 out.append(t if round_i == 0 else self.rebind(t))
         return out
 
+    # -- rewrite-susceptible shapes ----------------------------------------------
+
+    def _disjoint_or_predicate(self, tname: str, column: str, k: int):
+        """Disjunction of ``k`` pairwise-disjoint parts on one column.
+
+        Built from sorted distinct data samples: adjacent non-overlapping
+        BETWEEN intervals when the column has enough distinct values,
+        distinct equality parts otherwise.  Disjointness is what makes the
+        OR -> UNION rewrite applicable (branch counts must sum exactly).
+        Returns None when the column is too degenerate (< 2 distinct values).
+        """
+        values = self.db.table(tname).values(column)
+        ref = ColumnRef(tname, column)
+        sample = values[self.rng.integers(values.shape[0], size=6 * k)]
+        distinct = np.unique(sample.astype(np.float64))
+        if distinct.shape[0] >= 2 * k:
+            picks = np.sort(
+                self.rng.choice(distinct, size=2 * k, replace=False)
+            )
+            parts = tuple(
+                Predicate(
+                    ref,
+                    Op.BETWEEN,
+                    (float(picks[2 * i]), float(picks[2 * i + 1])),
+                )
+                for i in range(k)
+            )
+            return OrPredicate(ref, parts)
+        if distinct.shape[0] >= 2:
+            n = min(k, distinct.shape[0])
+            picks = self.rng.choice(distinct, size=n, replace=False)
+            return OrPredicate(
+                ref, tuple(Predicate(ref, Op.EQ, float(v)) for v in picks)
+            )
+        return None
+
+    def _wide_in_predicate(self, tname: str, column: str, width: int):
+        """IN predicate with up to ``width`` distinct data-sampled values."""
+        values = self.db.table(tname).values(column)
+        chosen: set[float] = set()
+        for _ in range(8 * width):
+            chosen.add(float(values[self.rng.integers(values.shape[0])]))
+            if len(chosen) >= width:
+                break
+        if not chosen:
+            return None
+        return Predicate(ColumnRef(tname, column), Op.IN, frozenset(chosen))
+
+    def _join_column_predicate(self, joins: list[Join]):
+        """A range predicate on one side of a join -- the pushdown-blocked
+        shape: the filter constrains only its own scan even though the
+        equi-join makes it valid (and useful) on the other side too."""
+        join = joins[self.rng.integers(len(joins))]
+        side = join.left if self.rng.random() < 0.5 else join.right
+        values = self.db.table(side.table).values(side.column)
+        pick = lambda: float(values[self.rng.integers(values.shape[0])])  # noqa: E731
+        a, b = pick(), pick()
+        return Predicate(side, Op.BETWEEN, (min(a, b), max(a, b)))
+
+    def _redundant_pair(self, tname: str, column: str):
+        """Two same-column conjuncts where one subsumes the other."""
+        values = self.db.table(tname).values(column)
+        ref = ColumnRef(tname, column)
+        a = float(values[self.rng.integers(values.shape[0])])
+        b = float(values[self.rng.integers(values.shape[0])])
+        lo, hi = min(a, b), max(a, b)
+        if lo == hi:
+            return None
+        if self.rng.random() < 0.5:
+            # col <= lo implies col <= hi: the looser bound is redundant.
+            return [Predicate(ref, Op.LE, lo), Predicate(ref, Op.LE, hi)]
+        return [Predicate(ref, Op.GE, hi), Predicate(ref, Op.GE, lo)]
+
+    def _mergeable_pair(self, tname: str, column: str):
+        """GE + LE conjuncts on one column, mergeable into a single BETWEEN."""
+        values = self.db.table(tname).values(column)
+        ref = ColumnRef(tname, column)
+        a = float(values[self.rng.integers(values.shape[0])])
+        b = float(values[self.rng.integers(values.shape[0])])
+        lo, hi = min(a, b), max(a, b)
+        return [Predicate(ref, Op.GE, lo), Predicate(ref, Op.LE, hi)]
+
+    def rewrite_susceptible_workload(
+        self,
+        n_queries: int,
+        min_tables: int = 2,
+        max_tables: int = 4,
+        *,
+        or_heavy_rate: float = 0.35,
+        or_parts: tuple[int, int] = (3, 5),
+        wide_in_rate: float = 0.35,
+        in_width: tuple[int, int] = (8, 16),
+        pushdown_rate: float = 0.5,
+        redundant_rate: float = 0.3,
+        mergeable_rate: float = 0.3,
+    ) -> list[Query]:
+        """Queries deliberately shaped for the rewrite rule library.
+
+        Each knob is the per-query probability of injecting one shape:
+
+        - ``or_heavy_rate``: a same-column disjunction of ``or_parts``
+          pairwise-disjoint parts (OR -> UNION split fodder);
+        - ``wide_in_rate``: an IN list of ``in_width`` distinct values
+          (IN -> join against a literal values relation);
+        - ``pushdown_rate``: a range predicate on a join column of one side
+          only (transitive predicate pushdown);
+        - ``redundant_rate``: a subsumed same-column conjunct pair
+          (redundant-predicate elimination);
+        - ``mergeable_rate``: a GE/LE pair on one column (range merging).
+
+        Every query is guaranteed at least one susceptible shape, and
+        generation is fully driven by the seeded RNG -- same seed, same
+        workload.
+        """
+        for name, rate in (
+            ("or_heavy_rate", or_heavy_rate),
+            ("wide_in_rate", wide_in_rate),
+            ("pushdown_rate", pushdown_rate),
+            ("redundant_rate", redundant_rate),
+            ("mergeable_rate", mergeable_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        out: list[Query] = []
+        for _ in range(n_queries):
+            cap = len(self.db.table_names)
+            n_tables = int(
+                self.rng.integers(min_tables, min(max_tables, cap) + 1)
+            )
+            tables = self._random_connected_tables(n_tables)
+            joins = self._joins_for(tables)
+            # Columns still unused by an injected shape, per table.
+            free = {t: list(self._pred_columns[t]) for t in tables}
+            preds: list = []
+
+            def pop_column() -> tuple[str, str] | None:
+                eligible = [t for t in tables if free[t]]
+                if not eligible:
+                    return None
+                t = eligible[self.rng.integers(len(eligible))]
+                c = free[t].pop(self.rng.integers(len(free[t])))
+                return t, c
+
+            def inject(shape: str) -> bool:
+                if shape == "pushdown":
+                    if not joins:
+                        return False
+                    preds.append(self._join_column_predicate(joins))
+                    return True
+                spot = pop_column()
+                if spot is None:
+                    return False
+                t, c = spot
+                if shape == "or_heavy":
+                    k = int(self.rng.integers(or_parts[0], or_parts[1] + 1))
+                    built = self._disjoint_or_predicate(t, c, k)
+                elif shape == "wide_in":
+                    w = int(self.rng.integers(in_width[0], in_width[1] + 1))
+                    built = self._wide_in_predicate(t, c, w)
+                elif shape == "redundant":
+                    built = self._redundant_pair(t, c)
+                else:  # mergeable
+                    built = self._mergeable_pair(t, c)
+                if built is None:
+                    return False
+                preds.extend(built if isinstance(built, list) else [built])
+                return True
+
+            shapes = (
+                ("pushdown", pushdown_rate),
+                ("or_heavy", or_heavy_rate),
+                ("wide_in", wide_in_rate),
+                ("redundant", redundant_rate),
+                ("mergeable", mergeable_rate),
+            )
+            injected = 0
+            for shape, rate in shapes:
+                if rate > 0.0 and self.rng.random() < rate:
+                    injected += inject(shape)
+            if not injected:
+                # Guarantee susceptibility: force the first shape that fits.
+                for shape, rate in shapes:
+                    if rate > 0.0 and inject(shape):
+                        break
+            out.append(Query(tuple(tables), tuple(joins), tuple(preds)))
+        return out
+
     def join_template_workload(
         self, tables: list[str], n_queries: int, max_preds_per_table: int = 2
     ) -> list[Query]:
