@@ -57,6 +57,10 @@ BENCHMARKS: dict[str, tuple[str, str]] = {
         "bench_p7_rewrite",
         "learned query rewriting: oracle cleanliness, promotion gates, feedback",
     ),
+    "p8": (
+        "bench_p8_bounds",
+        "pessimistic bounds: soundness, guard visibility, risk-bounded p99",
+    ),
 }
 
 

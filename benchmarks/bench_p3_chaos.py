@@ -25,8 +25,8 @@ CI diffs across two runs.
 import argparse
 import os
 
-from repro.bench import render_fault_stats, render_table
-from repro.serve import chaos_scenario
+from repro.bench import render_bounds_stats, render_fault_stats, render_table
+from repro.serve import bound_guard_scenario, chaos_scenario
 
 _PROFILES = {
     "quick": {"scale": 0.3, "n_queries": 160, "n_sessions": 8},
@@ -110,6 +110,21 @@ def test_p3_fault_counters_reach_telemetry():
     )
 
 
+def test_p3_bound_guard_absorbs_fault_storm():
+    """The bound-guard rung of the ladder under its own fault storm:
+    every query answered, every certificate crossing routed to fallback."""
+    p = _PROFILES[PROFILE]
+    scenario = bound_guard_scenario(
+        scale=p["scale"], seed=0, n_queries=min(p["n_queries"], 160)
+    )
+    report = scenario.run()
+    assert report.n_served == report.n_requests, "guarded run shed queries"
+    stats = scenario.bound_guard.stats()
+    assert stats["estimate_violations"] > 0, "fault storm never crossed a bound"
+    assert stats["fallback_served"] > 0
+    print(render_bounds_stats(stats, title="P3: bound guard under chaos"))
+
+
 def test_p3_determinism_same_seed_same_export():
     exports = []
     for _ in range(2):
@@ -153,6 +168,15 @@ def main(argv=None) -> int:
         )
     )
     print(render_fault_stats(scenario.injector.stats()))
+    guarded = bound_guard_scenario(
+        scale=_PROFILES[args.profile]["scale"], seed=args.seed
+    )
+    guarded.run()
+    print(
+        render_bounds_stats(
+            guarded.bound_guard.stats(), title="P3: bound guard under chaos"
+        )
+    )
     if args.export:
         with open(args.export, "w") as fh:
             fh.write(deployment.telemetry.to_json())

@@ -5,9 +5,11 @@ Three properties are measured and gated:
 1. **Clean run**: on unmutated code, every oracle layer -- differential
    plan equivalence (all enumerated plan shapes vs the exact count),
    metamorphic transforms, estimator contracts (including the domain
-   probes and the ``estimates_version`` bump), the deep-chain closed-form
-   differential and a sampled online audit of a live serving run -- must
-   report **zero violations**.
+   probes and the ``estimates_version`` bump), bound soundness (the
+   pessimistic estimator's certificate holds on every enumerated
+   subquery and dominates the point estimate), the deep-chain
+   closed-form differential and a sampled online audit of a live serving
+   run -- must report **zero violations**.
 2. **Mutation catch rate**: re-introducing each catalogued bug (the
    seeded mutations in :mod:`repro.oracle.mutations`, which include the
    satellite bugs this PR fixed) must be detected by at least one layer;
@@ -28,6 +30,7 @@ import os
 import numpy as np
 
 from repro.bench import render_table
+from repro.cardest.bounds import MCVJoinBoundEstimator
 from repro.cardest.querydriven import LinearQueryEstimator
 from repro.engine import CardinalityExecutor
 from repro.optimizer import TraditionalCardinalityEstimator
@@ -104,6 +107,22 @@ def oracle_pass(seed: int = 0, profile: str | None = None) -> OracleReport:
     )
     report.record_check("contract", contracts.checks_run + 1)
 
+    # Layer 3b: bound soundness -- the pessimistic estimator's certificate
+    # (bound >= exact count on every enumerated subquery, and bound
+    # dominates the point estimate it certifies).
+    bounds = MCVJoinBoundEstimator(db)
+    bound_contracts = EstimatorContractChecker(db, bounds)
+    report.extend(bound_contracts.check_bound_soundness(queries, executor=executor))
+    # 10% slack: histogram interpolation on narrow ranges overshoots the
+    # (near-exact) sketch bound by a few percent; a genuine undercounting
+    # bug (e.g. the bound_undercounts mutation, /8) blows well past it.
+    report.extend(
+        bound_contracts.check_bound_dominates(
+            TraditionalCardinalityEstimator(db), queries, tolerance=1.1
+        )
+    )
+    report.record_check("bound", bound_contracts.checks_run)
+
     # Layer 4a: deep-chain differential -- executor vs independent
     # reference vs the closed-form count (past float64 exactness).
     chain_db, chain_q, expected = make_deep_chain(p["chain_tables"], seed=seed)
@@ -165,6 +184,7 @@ def test_p5_clean_run_zero_violations():
     assert report.checks.get("plan_equivalence", 0) > 0
     assert report.checks.get("metamorphic", 0) > 0
     assert report.checks.get("contract", 0) > 0
+    assert report.checks.get("bound", 0) > 0
     assert report.checks.get("audit", 0) > 0
     by_layer = report.by_layer()
     print(

@@ -12,6 +12,7 @@ EXPERIMENTS.md); this package provides their shared machinery:
 """
 
 from repro.bench.report import (
+    render_bounds_stats,
     render_cache_stats,
     render_fault_stats,
     render_lifecycle_stats,
@@ -21,7 +22,10 @@ from repro.bench.report import (
 from repro.bench.io import load_workload, save_workload
 from repro.bench.workloads import (
     WorkloadSpec,
+    adversarial_hot_key_drift,
     apply_drift,
+    hot_key_probe_queries,
+    hot_key_targets,
     make_workloads,
 )
 from repro.bench.suite import (
@@ -36,6 +40,7 @@ from repro.bench.suite import (
 
 __all__ = [
     "render_table",
+    "render_bounds_stats",
     "render_cache_stats",
     "render_fault_stats",
     "render_lifecycle_stats",
@@ -43,7 +48,10 @@ __all__ = [
     "save_workload",
     "load_workload",
     "WorkloadSpec",
+    "adversarial_hot_key_drift",
     "apply_drift",
+    "hot_key_probe_queries",
+    "hot_key_targets",
     "make_workloads",
     "build_estimator",
     "query_driven_estimators",

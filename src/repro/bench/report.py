@@ -6,6 +6,7 @@ from typing import Sequence
 
 __all__ = [
     "render_table",
+    "render_bounds_stats",
     "render_cache_stats",
     "render_fault_stats",
     "render_lifecycle_stats",
@@ -98,6 +99,39 @@ def render_fault_stats(
         rows,
         note=", ".join(x for x in (extras, note) if x) or None,
     )
+
+
+def render_bounds_stats(
+    stats: dict, *, title: str = "bound guard", note: str | None = None
+) -> str:
+    """Render :meth:`repro.faults.BoundGuard.stats` output.
+
+    Three row groups in one table: the check/violation funnel (checked,
+    observed counts, estimate vs observed-count violations, violation
+    rate), the fallback routing counters (fallback served, breaker
+    denials, primary/bound errors, breaker trips) and the bound/estimate
+    ratio percentiles (how loose the certificates ran).
+    """
+    order = [
+        "checked",
+        "counts_observed",
+        "estimate_violations",
+        "bound_violations",
+        "violation_rate",
+        "fallback_served",
+        "breaker_denied",
+        "primary_errors",
+        "bound_errors",
+        "breaker_trips",
+        "ratio_p50",
+        "ratio_p90",
+        "ratio_p99",
+    ]
+    rows = [(key, stats[key]) for key in order if key in stats]
+    rows.extend((key, stats[key]) for key in sorted(stats) if key not in order)
+    if not rows:
+        rows = [("-", 0)]
+    return render_table(title, ["stat", "value"], rows, note=note)
 
 
 def render_lifecycle_stats(

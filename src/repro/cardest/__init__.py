@@ -25,8 +25,15 @@ ones add ``fit(queries, cards)``; all are interchangeable inside
 from repro.cardest.base import (
     BaseCardinalityEstimator,
     q_error,
+    sanitize_bound,
     sanitize_estimate,
     sanitize_estimates,
+)
+from repro.cardest.bounds import (
+    AGMSketchBoundEstimator,
+    BoundSketch,
+    BoundSketchEstimator,
+    MCVJoinBoundEstimator,
 )
 from repro.cardest.traditional import HistogramEstimator, SamplingEstimator
 from repro.cardest.querydriven import (
@@ -60,8 +67,13 @@ from repro.cardest.advisor import (
 from repro.cardest.drift import DDUpDetector, DriftReport, Warper
 
 __all__ = [
+    "AGMSketchBoundEstimator",
     "BaseCardinalityEstimator",
+    "BoundSketch",
+    "BoundSketchEstimator",
+    "MCVJoinBoundEstimator",
     "q_error",
+    "sanitize_bound",
     "sanitize_estimate",
     "sanitize_estimates",
     "HistogramEstimator",

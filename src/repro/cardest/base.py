@@ -11,6 +11,7 @@ __all__ = [
     "BaseCardinalityEstimator",
     "q_error",
     "q_error_summary",
+    "sanitize_bound",
     "sanitize_estimate",
     "sanitize_estimates",
 ]
@@ -37,6 +38,29 @@ def sanitize_estimate(value: float, upper: float | None = None) -> float:
     if not np.isfinite(value):
         return bound
     return min(max(value, 0.0), bound)
+
+
+def sanitize_bound(value: float, cross_product: float) -> float:
+    """Sanitize an *upper bound* -- the dual of :func:`sanitize_estimate`.
+
+    Point-estimate semantics are wrong for bounds: mapping a poisoned
+    bound to a small number (or leaving it NaN, which every ``>``
+    comparison answers False for) silently disables any guard comparing
+    estimates against it.  A bound that is non-finite, negative or
+    otherwise unusable must instead *widen* to the one bound that is
+    always sound -- the unfiltered cross product -- and a finite bound is
+    capped at it (the cross product is sound, so the min of the two still
+    is).  Used by :class:`repro.faults.BoundGuard` so fault-injected
+    ``nan``/``inf`` bound outputs degrade to "loose", never to "off".
+    """
+    cross = float(cross_product)
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        return cross
+    if not np.isfinite(value) or value < 0:
+        return cross
+    return min(value, cross)
 
 
 def sanitize_estimates(

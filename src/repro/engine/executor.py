@@ -117,10 +117,14 @@ class CardinalityExecutor:
     The per-query memo is an LRU capped at ``cache_capacity`` (serving
     streams are unbounded; the old dict grew without limit) with hit/miss/
     eviction counters surfaced through :meth:`cache_stats` in the same
-    shape the optimizer's ``CardinalityCache`` reports.  Join-column sort
-    indexes are shared through a :class:`~repro.engine.kernels.
-    KeyIndexCache` so repeated cyclic-join materializations never re-sort
-    an unchanged column.
+    shape the optimizer's ``CardinalityCache`` reports.  The memo is
+    pinned to ``db.data_version`` and drops itself whenever a table
+    mutates -- an exact oracle that answers from pre-mutation data is
+    worse than a slow one, and the drift scenarios mutate mid-stream.
+    Join-column sort indexes are shared through a
+    :class:`~repro.engine.kernels.KeyIndexCache` so repeated cyclic-join
+    materializations never re-sort an unchanged column (that cache keys
+    on ``data_version`` natively).
     """
 
     def __init__(
@@ -137,6 +141,7 @@ class CardinalityExecutor:
         self.cache_capacity = cache_capacity
         self.key_index = key_index if key_index is not None else KeyIndexCache()
         self._cache: "OrderedDict[Query, int]" = OrderedDict()
+        self._cache_version = db.data_version
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -147,6 +152,10 @@ class CardinalityExecutor:
         Disconnected join graphs are rejected (the surveyed systems never
         produce cross joins); single-table queries count filtered rows.
         """
+        version = self.db.data_version
+        if version != self._cache_version:
+            self._cache.clear()
+            self._cache_version = version
         cached = self._cache.get(query)
         if cached is not None:
             self._hits += 1

@@ -17,6 +17,10 @@ of the stack survivable:
   half-open over virtual time), :class:`RetryPolicy` (deterministic
   backoff), :class:`FallbackEstimator` / :class:`FallbackCostModel`
   (learned -> histogram/analytic);
+- :mod:`repro.faults.boundguard` -- :class:`BoundGuard`: certifies every
+  served estimate against a pessimistic upper bound
+  (:mod:`repro.cardest.bounds`); violations trip the breaker, route to
+  the fallback path and surface as ``bounds.*`` telemetry;
 - :mod:`repro.faults.clock` -- the shared :class:`VirtualClock` all
   durations live on (nothing here touches wall clock).
 
@@ -24,6 +28,7 @@ of the stack survivable:
 :mod:`repro.serve.scenarios` drive the whole ladder end to end.
 """
 
+from repro.faults.boundguard import BoundGuard
 from repro.faults.clock import VirtualClock
 from repro.faults.plan import (
     FAULT_KINDS,
@@ -45,6 +50,7 @@ from repro.faults.resilience import (
 
 __all__ = [
     "FAULT_KINDS",
+    "BoundGuard",
     "BreakerState",
     "CircuitBreaker",
     "FallbackCostModel",

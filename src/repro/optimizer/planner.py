@@ -31,6 +31,7 @@ from repro.engine.plans import (
 from repro.optimizer.cardcache import CardinalityCache
 from repro.optimizer.cost import PlanCoster
 from repro.optimizer.hints import HintSet
+from repro.optimizer.risk import RISK_MODES, RiskCoster
 from repro.optimizer.statistics import DatabaseStats
 from repro.optimizer.traditional import TraditionalCardinalityEstimator
 from repro.sql.query import Join, Query
@@ -231,6 +232,17 @@ class Optimizer:
         estimator swaps via :meth:`with_estimator`), which is what makes
         Bao's per-hint-set re-planning and Lero's factor sweep estimate
         each sub-plan once instead of once per enumeration.
+    bound_estimator:
+        Optional pessimistic upper-bound estimator (:mod:`repro.cardest.
+        bounds`) enabling the risk-bounded planner modes.  It gets its
+        own coster over the *same* cardinality cache (distinct estimator
+        tags keep expected and worst-case entries apart).
+    risk / risk_lambda:
+        Default risk mode for :meth:`plan`: ``"expected"`` (classic
+        estimated-cost minimization), ``"worst_case"`` (minimize cost
+        under the certified bound) or ``"blended"`` (mix the two at
+        ``risk_lambda`` -- 0 is expected, 1 is worst-case).  Both can be
+        overridden per call.
     """
 
     def __init__(
@@ -240,7 +252,17 @@ class Optimizer:
         stats: DatabaseStats | None = None,
         constants: CostConstants | None = None,
         cache: CardinalityCache | None = None,
+        *,
+        bound_estimator: CardinalityEstimator | None = None,
+        risk: str = "expected",
+        risk_lambda: float = 0.5,
     ) -> None:
+        if risk not in RISK_MODES:
+            raise ValueError(f"unknown risk mode {risk!r}; one of {RISK_MODES}")
+        if risk != "expected" and bound_estimator is None:
+            raise ValueError(
+                f"risk={risk!r} needs a bound_estimator (see repro.cardest.bounds)"
+            )
         self.db = db
         self.stats = stats if stats is not None else DatabaseStats.build(db)
         self.estimator: CardinalityEstimator = (
@@ -251,13 +273,48 @@ class Optimizer:
         self.constants = constants
         self.cache = cache if cache is not None else CardinalityCache()
         self.coster = PlanCoster(db, self.estimator, constants, cache=self.cache)
+        self.bound_estimator = bound_estimator
+        self.risk = risk
+        self.risk_lambda = float(risk_lambda)
+        self.bound_coster = (
+            PlanCoster(db, bound_estimator, constants, cache=self.cache)
+            if bound_estimator is not None
+            else None
+        )
 
     def with_estimator(self, estimator: CardinalityEstimator) -> "Optimizer":
         """A new optimizer sharing stats (and the cardinality cache) but
         using a different estimator."""
         return Optimizer(
-            self.db, estimator, self.stats, self.constants, cache=self.cache
+            self.db,
+            estimator,
+            self.stats,
+            self.constants,
+            cache=self.cache,
+            bound_estimator=self.bound_estimator,
+            risk=self.risk,
+            risk_lambda=self.risk_lambda,
         )
+
+    def _planning_coster(
+        self, risk: str | None, risk_lambda: float | None
+    ) -> PlanCoster | RiskCoster:
+        """The coster one planning runs under (risk knobs resolved)."""
+        risk = self.risk if risk is None else risk
+        if risk not in RISK_MODES:
+            raise ValueError(f"unknown risk mode {risk!r}; one of {RISK_MODES}")
+        if risk == "expected":
+            return self.coster
+        if self.bound_coster is None:
+            raise ValueError(
+                f"risk={risk!r} needs a bound_estimator (see repro.cardest.bounds)"
+            )
+        lam = (
+            1.0
+            if risk == "worst_case"
+            else (self.risk_lambda if risk_lambda is None else float(risk_lambda))
+        )
+        return RiskCoster(self.coster, self.bound_coster, lam)
 
     def cache_stats(self) -> dict[str, float]:
         """Hit/miss/eviction counters of the shared cardinality cache."""
@@ -268,14 +325,22 @@ class Optimizer:
         query: Query,
         hints: HintSet | None = None,
         algorithm: str = "dp",
+        *,
+        risk: str | None = None,
+        risk_lambda: float | None = None,
     ) -> Plan:
-        """Produce a physical plan. ``algorithm``: dp | greedy | left_deep."""
+        """Produce a physical plan. ``algorithm``: dp | greedy | left_deep.
+
+        ``risk``/``risk_lambda`` override the optimizer's defaults for
+        this one planning (e.g. ``risk="worst_case"`` picks the plan
+        minimizing cost under the certified cardinality bound)."""
+        coster = self._planning_coster(risk, risk_lambda)
         if algorithm == "dp":
-            return enumerate_dp(query, self.coster, hints)
+            return enumerate_dp(query, coster, hints)
         if algorithm == "greedy":
-            return enumerate_greedy(query, self.coster, hints)
+            return enumerate_greedy(query, coster, hints)
         if algorithm == "left_deep":
-            return enumerate_dp(query, self.coster, hints, left_deep_only=True)
+            return enumerate_dp(query, coster, hints, left_deep_only=True)
         raise ValueError(f"unknown algorithm {algorithm!r}")
 
     def cost(self, plan: Plan) -> float:

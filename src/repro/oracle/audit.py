@@ -42,6 +42,7 @@ class OnlineAuditor:
         every: int = 16,
         max_rows: int = 200_000,
         telemetry=None,
+        bound_guard=None,
     ) -> None:
         if every < 1:
             raise ValueError(f"audit sampling period must be >= 1, got {every}")
@@ -49,6 +50,11 @@ class OnlineAuditor:
         self.every = every
         self.max_rows = max_rows
         self.telemetry = telemetry
+        # Optional repro.faults.BoundGuard: every exact count the audit
+        # derives is also checked against the certified upper bound, so a
+        # violated bound (drift without refresh) trips serving degradation
+        # even when the *reported* cardinality audits clean.
+        self.bound_guard = bound_guard
         self.report = OracleReport()
         self._observed = 0
         # The plan path keeps its own executor; its memo doubles as the
@@ -86,6 +92,10 @@ class OnlineAuditor:
             truth = reference_count(self.db, query, max_rows=self.max_rows)
         except ReferenceTooLarge:
             return self._file("skipped", bus)
+        if self.bound_guard is not None:
+            self.bound_guard.observe_count(
+                query, truth, bus=bus if bus is not None else self.telemetry
+            )
         if truth != int(reported_cardinality):
             self.report.extend(
                 [

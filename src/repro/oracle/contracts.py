@@ -15,6 +15,14 @@ violations have historically been real bugs in this stack:
   zero -- the contracts the satellite selectivity fixes restored;
 - any state change that can alter answers (refit, feedback) bumps
   ``estimates_version``, the counter cardinality caches key on.
+
+For *bound* estimators (:mod:`repro.cardest.bounds`) the oracle can demand
+more: a certified upper bound must dominate the exact count on every
+connected sub-query (:meth:`~EstimatorContractChecker.check_bound_soundness`
+-- checked against the independent exact executor), and must dominate the
+point estimate it certifies (:meth:`~EstimatorContractChecker.
+check_bound_dominates`).  Note that the domain contracts do NOT apply to
+bound estimators: bucket hulls deliberately overcount at domain edges.
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from __future__ import annotations
 import math
 from typing import Callable
 
+from repro.engine.executor import CardinalityExecutor, IntermediateTooLarge
 from repro.sql.query import ColumnRef, Op, Predicate, Query
 from repro.storage.catalog import Database
 from repro.oracle.report import Violation
@@ -195,6 +204,73 @@ class EstimatorContractChecker:
         for q in queries:
             out.extend(self.check_query(q))
         return out
+
+    # -- bound soundness contracts ---------------------------------------------------
+
+    def check_bound_soundness(
+        self, queries: list[Query], *, executor: CardinalityExecutor | None = None
+    ) -> list[Violation]:
+        """``bound >= exact_count`` on every enumerated connected sub-query.
+
+        The defining contract of a pessimistic estimator: its estimate is a
+        *certificate*, so on every plan shape the enumerator can visit the
+        certified value must dominate the true cardinality (computed by the
+        independent exact executor).  Sub-queries too large to count
+        exactly are skipped, not assumed sound.
+        """
+        executor = executor if executor is not None else CardinalityExecutor(self.db)
+        violations: list[Violation] = []
+        for q in queries:
+            for sub in self._connected_subqueries(q):
+                try:
+                    exact = executor.cardinality(sub)
+                except IntermediateTooLarge:
+                    continue
+                bound = float(self.estimator.estimate(sub))
+                self.checks_run += 1
+                if bound < exact:
+                    violations.append(
+                        self._violation(
+                            "bound_soundness",
+                            sub.cache_key,
+                            f">= {exact}",
+                            f"{bound:g}",
+                            detail=sub.to_sql(),
+                        )
+                    )
+        return violations
+
+    def check_bound_dominates(
+        self, point_estimator, queries: list[Query], *, tolerance: float | None = None
+    ) -> list[Violation]:
+        """``bound >= point_estimate`` on every enumerated sub-query.
+
+        The serving-side pairing contract: a learned point estimate above
+        its certified bound is exactly what the :class:`~repro.faults.
+        BoundGuard` trips on, so a healthy (point, bound) pairing must not
+        trip anywhere.  ``tolerance`` defaults to the checker's
+        multiplicative slack; ``zero_tolerance`` absorbs sub-row
+        fractional estimates against integral bounds.
+        """
+        tolerance = self.tolerance if tolerance is None else tolerance
+        violations: list[Violation] = []
+        for q in queries:
+            for sub in self._connected_subqueries(q):
+                bound = float(self.estimator.estimate(sub))
+                point = float(point_estimator.estimate(sub))
+                self.checks_run += 1
+                allowed = bound * tolerance + self.zero_tolerance
+                if not math.isfinite(point) or point > allowed:
+                    violations.append(
+                        self._violation(
+                            "bound_dominates",
+                            sub.cache_key,
+                            f"<= {allowed:g}",
+                            f"{point:g}",
+                            detail=sub.to_sql(),
+                        )
+                    )
+        return violations
 
     # -- schema-level domain contracts ---------------------------------------------
 

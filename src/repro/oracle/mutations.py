@@ -23,6 +23,7 @@ import numpy as np
 
 import repro.engine.executor as executor_mod
 from repro.cardest.base import BaseCardinalityEstimator
+from repro.cardest.bounds import BoundSketchEstimator
 from repro.optimizer.statistics import ColumnStats
 from repro.optimizer.traditional import TraditionalCardinalityEstimator
 from repro.sql.query import Join, Op, Predicate, Query
@@ -255,6 +256,21 @@ def estimate_overscaled():
         yield
 
 
+@contextmanager
+def bound_undercounts():
+    """The pessimistic bound estimators silently report an eighth of the
+    certified bound -- a broken certificate that still *looks* like a
+    plausible estimate (finite, positive, under the cross product)."""
+
+    original = BoundSketchEstimator._estimate
+
+    def mutated(self, query):
+        return original(self, query) / 8.0
+
+    with _patched(BoundSketchEstimator, "_estimate", mutated):
+        yield
+
+
 # -- canonicalization / versioning contracts -------------------------------------
 
 
@@ -292,6 +308,7 @@ MUTATIONS = {
     "estimate_negative": estimate_negative,
     "estimate_nan": estimate_nan,
     "estimate_overscaled": estimate_overscaled,
+    "bound_undercounts": bound_undercounts,
     "join_normalize_identity": join_normalize_identity,
     "version_bump_dropped": version_bump_dropped,
 }

@@ -36,9 +36,13 @@ from repro.serve.runtime import (
     build_schedule,
 )
 from repro.serve.scenarios import (
+    PlannerBackend,
     RegressionInjector,
     ServingScenario,
+    adversarial_drift_scenario,
+    bound_guard_scenario,
     chaos_scenario,
+    default_bound_fault_plan,
     default_chaos_plan,
     drift_scenario,
     injected_regression_scenario,
@@ -50,6 +54,7 @@ from repro.serve.telemetry import Histogram, TelemetryBus, TraceRecord
 __all__ = [
     "ConsoleBackend",
     "DeploymentManager",
+    "PlannerBackend",
     "Histogram",
     "Rejected",
     "RegressionInjector",
@@ -63,8 +68,11 @@ __all__ = [
     "Stage",
     "TelemetryBus",
     "TraceRecord",
+    "adversarial_drift_scenario",
+    "bound_guard_scenario",
     "build_schedule",
     "chaos_scenario",
+    "default_bound_fault_plan",
     "default_chaos_plan",
     "drift_scenario",
     "injected_regression_scenario",

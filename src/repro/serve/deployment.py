@@ -119,6 +119,9 @@ class DeploymentManager:
         registry=None,
         model_version: str | None = None,
         plan_cache: PlanCache | None = None,
+        bound_guard=None,
+        bound_violation_rollback: float | None = None,
+        min_bound_checks: int = 20,
     ) -> None:
         """``breaker`` guards the learned optimizer: exceptions and
         latency-budget blow-outs from ``choose_plan`` are recorded as
@@ -145,13 +148,27 @@ class DeploymentManager:
         compiled plan across literal bindings.  Every stage transition
         invalidates it -- a stage flip changes what is being measured,
         and plans cached under the previous stage must not leak into the
-        next one's comparisons."""
+        next one's comparisons.
+
+        ``bound_guard`` is an optional :class:`repro.faults.BoundGuard`
+        watching the estimator feeding the learned side.  When
+        ``bound_violation_rollback`` is set, a CANARY/LIVE deployment
+        whose guard reports a violation rate above that threshold (after
+        at least ``min_bound_checks`` checks) is rolled back -- a model
+        whose estimates routinely exceed their certified upper bounds is
+        broken even if its plans happen to run fast so far."""
         if not 0.0 < canary_fraction <= 1.0:
             raise ConfigError("canary_fraction must be in (0, 1]")
         if min_samples < 1 or window < min_samples:
             raise ConfigError("need window >= min_samples >= 1")
         if rollback_after_trips is not None and rollback_after_trips < 1:
             raise ConfigError("rollback_after_trips must be >= 1 or None")
+        if bound_violation_rollback is not None and not (
+            0.0 < bound_violation_rollback <= 1.0
+        ):
+            raise ConfigError("bound_violation_rollback must be in (0, 1] or None")
+        if min_bound_checks < 1:
+            raise ConfigError("min_bound_checks must be >= 1")
         self.learned = learned
         self.native = native
         self.simulator = simulator
@@ -174,6 +191,9 @@ class DeploymentManager:
         self.registry = registry
         self.model_version = model_version
         self.plan_cache = plan_cache
+        self.bound_guard = bound_guard
+        self.bound_violation_rollback = bound_violation_rollback
+        self.min_bound_checks = min_bound_checks
         self.queries_served = 0
         self.learned_failures = 0
         self.degraded_serves = 0
@@ -188,6 +208,10 @@ class DeploymentManager:
             if breaker.telemetry is None:
                 breaker.telemetry = self.telemetry
             self.telemetry.attach_gauge(f"breaker_{breaker.name}", breaker.stats)
+        if bound_guard is not None:
+            if bound_guard.telemetry is None:
+                bound_guard.telemetry = self.telemetry
+            self.telemetry.attach_gauge("bound_guard", bound_guard.stats)
         for i, g in enumerate(guards):
             if hasattr(g, "intervention_rate"):
                 self.telemetry.attach_gauge(
@@ -306,6 +330,28 @@ class DeploymentManager:
 
     def window_mean(self) -> float | None:
         return fmean(self._regressions) if self._regressions else None
+
+    def _check_bound_violation_rate(self) -> None:
+        """Roll back a serving-path model whose bound-violation rate is
+        above threshold -- the bound certificate, not latency, is the
+        signal here, so this fires even while plans still look fast."""
+        if (
+            self.bound_guard is None
+            or self.bound_violation_rollback is None
+            or self.stage not in (Stage.CANARY, Stage.LIVE)
+        ):
+            return
+        checks = self.bound_guard.checked + self.bound_guard.counts_observed
+        if checks < self.min_bound_checks:
+            return
+        rate = self.bound_guard.violation_rate()
+        if rate > self.bound_violation_rollback:
+            self.telemetry.incr("deployment.auto_rollbacks")
+            self._transition(
+                Stage.ROLLED_BACK,
+                reason=f"bound_violation_rate={rate:.3f}"
+                f">{self.bound_violation_rollback:g}",
+            )
 
     # -- serving -----------------------------------------------------------------------
 
@@ -495,6 +541,7 @@ class DeploymentManager:
             bus.observe("learned_latency_ms", decision.latency_ms)
         if decision.regression is not None:
             bus.observe("regression_ratio", decision.regression)
+        self._check_bound_violation_rate()
 
     def cache_stats(self) -> dict | None:
         return self.native.cache_stats() if hasattr(self.native, "cache_stats") else None

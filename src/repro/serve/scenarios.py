@@ -21,17 +21,33 @@ ready to :meth:`~ServingScenario.run`:
   FallbackEstimator`, the learned optimizer crashes and stalls behind the
   deployment's circuit breaker, and the run must still complete with every
   query answered.  Byte-for-byte reproducible per seed.
+- :func:`bound_guard_scenario`: a fault-injected point estimator served
+  behind a :class:`~repro.faults.BoundGuard` -- every estimate checked
+  against its certified pessimistic bound, violations tripping the guard
+  breaker and routing to the histogram fallback, with the online auditor
+  feeding observed exact counts back into the guard.
+- :func:`adversarial_drift_scenario`: optimistic vs pessimistic
+  (``risk="worst_case"``) planning on a LIVE deployment while
+  :func:`repro.bench.adversarial_hot_key_drift` explodes join fan-out
+  mid-stream -- the tail-latency comparison ``bench_p8_bounds.py`` gates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.bench.workloads import apply_drift
+from repro.bench.workloads import (
+    adversarial_hot_key_drift,
+    apply_drift,
+    hot_key_probe_queries,
+    hot_key_targets,
+)
+from repro.cardest.bounds import MCVJoinBoundEstimator
 from repro.core.framework import CandidatePlan
 from repro.e2e.bao import BaoOptimizer
 from repro.engine.simulator import ExecutionSimulator
 from repro.faults import (
+    BoundGuard,
     CircuitBreaker,
     FallbackEstimator,
     FaultInjector,
@@ -58,6 +74,7 @@ from repro.storage.catalog import Database
 from repro.storage.datasets import make_stats_lite
 
 __all__ = [
+    "PlannerBackend",
     "RegressionInjector",
     "ServingScenario",
     "steady_state_scenario",
@@ -66,7 +83,29 @@ __all__ = [
     "parameterized_scenario",
     "default_chaos_plan",
     "chaos_scenario",
+    "default_bound_fault_plan",
+    "bound_guard_scenario",
+    "adversarial_drift_scenario",
 ]
+
+
+class PlannerBackend:
+    """The minimal learned-optimizer surface over a plain :class:`Optimizer`.
+
+    Lets a deployment serve straight planner output -- e.g. a risk-bounded
+    ``Optimizer(..., risk="worst_case")`` -- through the same staged
+    machinery as any learned model.  Stateless: feedback is discarded.
+    """
+
+    def __init__(self, optimizer: Optimizer, *, name: str = "planner") -> None:
+        self.optimizer = optimizer
+        self.name = name
+
+    def choose_plan(self, query: Query) -> CandidatePlan:
+        return CandidatePlan(plan=self.optimizer.plan(query), source=self.name)
+
+    def record_feedback(self, query, candidate, latency_ms) -> None:
+        pass
 
 
 class RegressionInjector:
@@ -129,6 +168,8 @@ class ServingScenario:
     auditor: OnlineAuditor | None = None
     #: set on parameterized scenarios: the plan cache serving native plannings
     plan_cache: PlanCache | None = None
+    #: set on bound-guard scenarios: the guard certifying served estimates
+    bound_guard: BoundGuard | None = None
 
     def run(self) -> RunReport:
         return self.runtime.run(self.schedule)
@@ -459,3 +500,201 @@ def chaos_scenario(
         schedule=schedule,
         injector=injector,
     )
+
+
+def default_bound_fault_plan(seed: int = 0) -> FaultPlan:
+    """Estimator faults whose *outputs* a bound certificate catches:
+    non-finite and wildly-overscaled predictions (plus crashes for the
+    error path).  No stale faults -- staleness is what the observed-count
+    side of the guard exists for."""
+    return FaultPlan(
+        (
+            FaultSpec(kind="nan", rate=0.06, target="estimator"),
+            FaultSpec(kind="inf", rate=0.05, target="estimator"),
+            FaultSpec(
+                kind="garbage", rate=0.08, target="estimator", magnitude=1e9
+            ),
+            FaultSpec(kind="exception", rate=0.04, target="estimator"),
+        ),
+        seed=seed,
+    )
+
+
+def bound_guard_scenario(
+    *,
+    scale: float = 0.3,
+    seed: int = 0,
+    n_queries: int = 120,
+    n_sessions: int = 8,
+    plan: FaultPlan | None = None,
+    tolerance: float = 2.0,
+    audit_every: int = 8,
+    bound_violation_rollback: float | None = None,
+    config: RuntimeConfig | None = None,
+) -> ServingScenario:
+    """A fault-injected point estimator serving behind a bound guard.
+
+    The native estimator is wrapped in a seeded fault injector and then in
+    a :class:`~repro.faults.BoundGuard` certifying every estimate against
+    a pessimistic :class:`~repro.cardest.MCVJoinBoundEstimator` bound; the
+    Bao-style learned optimizer plans through the guarded estimator.
+    Injected NaN/Inf/garbage predictions exceed their certified bounds,
+    trip the guard's breaker and are served from the histogram fallback
+    (capped at the bound); the online auditor feeds observed exact counts
+    back into the same guard, so a violated *bound* also surfaces.  With
+    ``plan=FaultPlan(())`` the same stack must record zero violations.
+    ``bound_violation_rollback`` optionally arms the deployment's
+    rate-triggered rollback.
+    """
+    db = make_stats_lite(scale=scale, seed=seed)
+    native = Optimizer(db)
+    simulator = ExecutionSimulator(db)
+    bus = TelemetryBus()
+    injector = FaultInjector(
+        plan if plan is not None else default_bound_fault_plan(seed),
+        telemetry=bus,
+    )
+    bounds = MCVJoinBoundEstimator(db)
+    guard_breaker = CircuitBreaker(
+        failure_threshold=3,
+        cooldown_ms=500.0,
+        clock=injector.clock,
+        name="bound_guard",
+        telemetry=bus,
+    )
+    guard = BoundGuard(
+        injector.wrap_estimator(native.estimator),
+        bounds,
+        TraditionalCardinalityEstimator(db),
+        breaker=guard_breaker,
+        telemetry=bus,
+        tolerance=tolerance,
+    )
+    learned = BaoOptimizer(native.with_estimator(guard), seed=seed)
+    deployment = DeploymentManager(
+        learned,
+        native,
+        simulator,
+        telemetry=bus,
+        stage=Stage.CANARY,
+        canary_fraction=0.5,
+        regression_threshold=3.0,
+        window=40,
+        min_samples=15,
+        bound_guard=guard,
+        bound_violation_rollback=bound_violation_rollback,
+    )
+    bus.attach_gauge("fault_injector", injector.stats)
+    queries = WorkloadGenerator(db, seed=seed + 1).workload(
+        n_queries, 2, 4, require_predicate=True
+    )
+    schedule = build_schedule(queries, n_sessions, seed=seed)
+    auditor = OnlineAuditor(db, every=audit_every, bound_guard=guard)
+    runtime = ServingRuntime(deployment, config=config, auditor=auditor)
+    return ServingScenario(
+        name="bound_guard",
+        db=db,
+        native=native,
+        simulator=simulator,
+        deployment=deployment,
+        runtime=runtime,
+        schedule=schedule,
+        injector=injector,
+        auditor=auditor,
+        bound_guard=guard,
+    )
+
+
+def adversarial_drift_scenario(
+    *,
+    pessimistic: bool,
+    scale: float = 0.3,
+    seed: int = 0,
+    n_queries: int = 120,
+    n_sessions: int = 8,
+    drift_fraction: float = 0.5,
+    min_tables: int = 2,
+    max_tables: int = 4,
+    config: RuntimeConfig | None = None,
+) -> ServingScenario:
+    """Optimistic vs pessimistic serving while join fan-out explodes.
+
+    A LIVE deployment serves straight planner output
+    (:class:`PlannerBackend`); halfway through the stream
+    :func:`repro.bench.adversarial_hot_key_drift` piles new child rows
+    onto a previously-cold parent key per parent table, so true join
+    sizes through those keys explode while the *point* estimator keeps
+    its pre-drift statistics (a learned model gone stale).  Every third
+    request is a :func:`repro.bench.hot_key_probe_queries` probe pinned
+    to the drift targets -- near-empty before the drift, the workload's
+    tail after it.  The two arms differ only in planning mode:
+
+    - ``pessimistic=False``: plans minimize expected cost under the stale
+      point estimates -- the optimizer keeps choosing plans whose true
+      intermediates are now enormous;
+    - ``pessimistic=True``: ``risk="worst_case"`` minimizes cost under
+      the certified upper bound; the bound sketches are refreshed at the
+      drift point (a cheap statistics rebuild -- no model retraining),
+      so post-drift plans are chosen against honest worst cases.
+
+    Same seed, same workload, same drift either way: only the risk mode
+    differs, which is what makes the p99 comparison in
+    ``bench_p8_bounds.py`` an apples-to-apples gate.
+    """
+    db = make_stats_lite(scale=scale, seed=seed)
+    point = TraditionalCardinalityEstimator(db)
+    bounds = MCVJoinBoundEstimator(db)
+    subject = Optimizer(
+        db,
+        estimator=point,
+        bound_estimator=bounds,
+        risk="worst_case" if pessimistic else "expected",
+    )
+    native = Optimizer(db)
+    simulator = ExecutionSimulator(db)
+    name = "pessimistic" if pessimistic else "optimistic"
+    deployment = DeploymentManager(
+        PlannerBackend(subject, name=name),
+        native,
+        simulator,
+        stage=Stage.LIVE,
+        monitor_native=False,
+        regression_threshold=1e9,
+        window=40,
+        min_samples=15,
+        rollback_after_trips=None,
+    )
+    targets = hot_key_targets(db)
+    probes = hot_key_probe_queries(db, targets)
+    queries = WorkloadGenerator(db, seed=seed + 1).workload(
+        n_queries, min_tables, max_tables, require_predicate=True
+    )
+    # Interleave probes so both pre- and post-drift halves cross the
+    # (to-be-)hot keys: every third request cycles through the probe set.
+    for i in range(2, len(queries), 3):
+        queries[i] = probes[(i // 3) % len(probes)]
+    schedule = build_schedule(queries, n_sessions, seed=seed)
+    scenario = ServingScenario(
+        name=f"adversarial_drift:{name}",
+        db=db,
+        native=native,
+        simulator=simulator,
+        deployment=deployment,
+        runtime=ServingRuntime(deployment, config=config),
+        schedule=schedule,
+    )
+
+    def _drift() -> None:
+        adversarial_hot_key_drift(
+            db, fraction=drift_fraction, seed=seed, targets=targets
+        )
+        if pessimistic:
+            bounds.refresh()
+        # Stale point statistics stay stale -- that is the experiment --
+        # but cached cardinalities are keyed off data_version and expire
+        # on their own; clearing just bounds memory.
+        if subject.cache is not None:
+            subject.cache.clear()
+
+    scenario.runtime.hooks[scenario.n_requests // 2] = _drift
+    return scenario

@@ -1,0 +1,278 @@
+"""Pessimistic bounds, risk-bounded planning and the bound guard."""
+
+import numpy as np
+import pytest
+
+from repro.cardest.base import sanitize_bound
+from repro.cardest.bounds import AGMSketchBoundEstimator, MCVJoinBoundEstimator
+from repro.bench.workloads import (
+    adversarial_hot_key_drift,
+    hot_key_probe_queries,
+    hot_key_targets,
+)
+from repro.engine import CardinalityExecutor
+from repro.faults import (
+    BoundGuard,
+    CircuitBreaker,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+)
+from repro.optimizer import Optimizer, TraditionalCardinalityEstimator
+from repro.oracle import EstimatorContractChecker, apply_mutation
+from repro.serve import Stage, bound_guard_scenario
+from repro.serve.telemetry import TelemetryBus
+from repro.sql import WorkloadGenerator
+from repro.storage import make_stats_lite
+
+
+@pytest.fixture(scope="module")
+def bound_workload(stats_db):
+    gen = WorkloadGenerator(stats_db, seed=81)
+    return gen.workload(10, 1, 3, require_predicate=True)
+
+
+class TestBoundSoundness:
+    """The tentpole contract: bound >= true count, always."""
+
+    @pytest.mark.parametrize(
+        "cls", [MCVJoinBoundEstimator, AGMSketchBoundEstimator]
+    )
+    def test_bound_covers_exact_count_on_subqueries(
+        self, stats_db, stats_executor, bound_workload, cls
+    ):
+        checker = EstimatorContractChecker(stats_db, cls(stats_db))
+        violations = checker.check_bound_soundness(
+            bound_workload, executor=stats_executor
+        )
+        assert checker.checks_run > 0
+        assert violations == [], [str(v) for v in violations]
+
+    def test_bound_dominates_point_estimates(self, stats_db, bound_workload):
+        checker = EstimatorContractChecker(
+            stats_db, MCVJoinBoundEstimator(stats_db)
+        )
+        violations = checker.check_bound_dominates(
+            TraditionalCardinalityEstimator(stats_db),
+            bound_workload,
+            tolerance=1.1,
+        )
+        assert violations == [], [str(v) for v in violations]
+
+    def test_batch_matches_scalar(self, stats_db, bound_workload):
+        est = MCVJoinBoundEstimator(stats_db)
+        batch = est.estimate_batch(list(bound_workload))
+        scalars = np.array([est.estimate(q) for q in bound_workload])
+        np.testing.assert_allclose(batch, scalars)
+
+    def test_refresh_bumps_estimates_version(self, stats_db):
+        est = MCVJoinBoundEstimator(stats_db)
+        before = est.estimates_version
+        est.refresh()
+        assert est.estimates_version != before
+
+    def test_oracle_catches_seeded_undercount(self, stats_db, bound_workload):
+        with apply_mutation("bound_undercounts"):
+            checker = EstimatorContractChecker(
+                stats_db, MCVJoinBoundEstimator(stats_db)
+            )
+            violations = checker.check_bound_soundness(bound_workload)
+        assert violations, "the /8 undercount mutation went undetected"
+        assert all(v.check == "bound_soundness" for v in violations)
+
+
+class TestSanitizeBound:
+    """Poisoned bounds widen to the cross product -- never shrink."""
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), -float("inf"), -1.0, None, "x"]
+    )
+    def test_unusable_bound_widens_to_cross_product(self, bad):
+        assert sanitize_bound(bad, 1e6) == 1e6
+
+    def test_finite_bound_capped_at_cross_product(self):
+        assert sanitize_bound(50.0, 1e6) == 50.0
+        assert sanitize_bound(2e9, 1e6) == 1e6
+
+    def test_injected_nan_inf_bounds_stay_loose_not_off(self, stats_db):
+        """Regression: a nan bound must not silently disable the guard."""
+        plan = FaultPlan(
+            (
+                FaultSpec(kind="nan", rate=1.0, target="bounds", end_call=4),
+                FaultSpec(kind="inf", rate=1.0, target="bounds"),
+            ),
+            seed=5,
+        )
+        injector = FaultInjector(plan)
+        guard = BoundGuard(
+            TraditionalCardinalityEstimator(stats_db),
+            injector.wrap_estimator(MCVJoinBoundEstimator(stats_db), "bounds"),
+            TraditionalCardinalityEstimator(stats_db),
+            db=stats_db,
+        )
+        q = WorkloadGenerator(stats_db, seed=82).random_query(
+            2, 3, require_predicate=True
+        )
+        cross = 1.0
+        for t in q.tables:
+            cross *= stats_db.table(t).n_rows
+        for _ in range(8):  # sweep both the nan and the inf window
+            assert guard.certified_bound(q) == cross
+            assert np.isfinite(guard.estimate(q))
+        assert guard.estimate_violations == 0  # loose bound, honest point
+
+
+class TestBoundGuard:
+    def _guard(self, db, primary, **kwargs):
+        kwargs.setdefault(
+            "breaker", CircuitBreaker(failure_threshold=3, cooldown_ms=1e9)
+        )
+        kwargs.setdefault("telemetry", TelemetryBus())
+        return BoundGuard(
+            primary,
+            MCVJoinBoundEstimator(db),
+            TraditionalCardinalityEstimator(db),
+            **kwargs,
+        )
+
+    def test_violation_trips_breaker_and_serves_fallback(self, stats_db):
+        class Broken:
+            def estimate(self, query):
+                return 1e18
+
+        guard = self._guard(stats_db, Broken())
+        queries = WorkloadGenerator(stats_db, seed=83).workload(
+            6, 2, 3, require_predicate=True
+        )
+        epoch_before = guard.breaker.epoch
+        for q in queries:
+            point = guard.estimate(q)
+            assert point <= guard.certified_bound(q)
+        assert guard.estimate_violations >= 3
+        assert guard.breaker.trips == 1
+        assert guard.breaker.epoch > epoch_before
+        assert guard.fallback_served > 0
+        snap = guard.telemetry.snapshot()
+        assert snap["counters"]["bounds.estimate_violations"] == (
+            guard.estimate_violations
+        )
+        events = [
+            e for e in snap["events"] if e["kind"] == "bound_violation"
+        ]
+        assert len(events) == guard.violations
+
+    def test_clean_estimator_never_trips(self, stats_db):
+        guard = self._guard(stats_db, TraditionalCardinalityEstimator(stats_db))
+        for q in WorkloadGenerator(stats_db, seed=84).workload(
+            8, 1, 3, require_predicate=True
+        ):
+            guard.estimate(q)
+        assert guard.violations == 0
+        assert guard.breaker.trips == 0
+        assert guard.fallback_served == 0
+
+    def test_estimates_version_tracks_breaker_and_refresh(self, stats_db):
+        guard = self._guard(stats_db, TraditionalCardinalityEstimator(stats_db))
+        v0 = guard.estimates_version
+        guard.bounds.refresh()
+        v1 = guard.estimates_version
+        assert v1 != v0
+        for _ in range(3):
+            guard.breaker.record_failure()
+        assert guard.estimates_version != v1
+
+    def test_tolerance_below_one_rejected(self, stats_db):
+        with pytest.raises(ValueError):
+            self._guard(
+                stats_db,
+                TraditionalCardinalityEstimator(stats_db),
+                tolerance=0.5,
+            )
+
+    def test_observed_count_over_bound_trips(self):
+        """Unrefreshed drift voids the certificate; the auditor's truth
+        must trip the guard -- and a refresh must restore coverage."""
+        db = make_stats_lite(scale=0.2, seed=11)
+        guard = self._guard(db, TraditionalCardinalityEstimator(db))
+        targets = hot_key_targets(db)
+        probes = hot_key_probe_queries(db, targets)
+        adversarial_hot_key_drift(db, fraction=1.0, seed=11, targets=targets)
+        executor = CardinalityExecutor(db)
+        tripped = 0
+        for q in probes:
+            truth = executor.cardinality(q)
+            if guard.observe_count(q, truth):
+                tripped += 1
+        assert tripped > 0
+        assert guard.bound_violations == tripped
+        assert guard.breaker.trips >= 1
+        guard.bounds.refresh()
+        for q in probes:
+            assert guard.certified_bound(q) >= executor.cardinality(q)
+
+
+class TestRiskBoundedPlanning:
+    def test_blended_lambda_zero_matches_expected(self, stats_db):
+        bounds = MCVJoinBoundEstimator(stats_db)
+        expected = Optimizer(stats_db)
+        blended = Optimizer(
+            stats_db, bound_estimator=bounds, risk="blended", risk_lambda=0.0
+        )
+        for q in WorkloadGenerator(stats_db, seed=85).workload(
+            6, 2, 4, require_predicate=True
+        ):
+            assert blended.plan(q).signature() == expected.plan(q).signature()
+
+    def test_worst_case_requires_bound_estimator(self, stats_db):
+        with pytest.raises(ValueError):
+            Optimizer(stats_db, risk="worst_case")
+
+    def test_worst_case_minimizes_bound_cost(self, stats_db):
+        bounds = MCVJoinBoundEstimator(stats_db)
+        worst = Optimizer(stats_db, bound_estimator=bounds, risk="worst_case")
+        expected = Optimizer(stats_db)
+        gen = WorkloadGenerator(stats_db, seed=86)
+        coster = worst._planning_coster("worst_case", None)
+        for q in gen.workload(6, 2, 4, require_predicate=True):
+            wp, ep = worst.plan(q), expected.plan(q)
+            assert wp.root.tables == frozenset(q.tables)
+            # The worst-case plan is at least as good under worst-case
+            # costing as the expected-mode plan.
+            assert coster.cost(wp) <= coster.cost(ep) * (1 + 1e-9)
+
+
+class TestExecutorMemoStaleness:
+    def test_memo_invalidated_by_data_mutation(self):
+        """The exact oracle must never answer from pre-mutation data."""
+        db = make_stats_lite(scale=0.2, seed=12)
+        executor = CardinalityExecutor(db)
+        targets = hot_key_targets(db)
+        q = hot_key_probe_queries(db, targets)[0]
+        before = executor.cardinality(q)
+        adversarial_hot_key_drift(db, fraction=1.0, seed=12, targets=targets)
+        after = executor.cardinality(q)
+        assert after > before
+
+
+class TestDeploymentBoundRollback:
+    def test_canary_rolls_back_on_violation_rate(self):
+        scenario = bound_guard_scenario(
+            scale=0.2,
+            seed=7,
+            n_queries=64,
+            n_sessions=4,
+            bound_violation_rollback=0.001,
+        )
+        scenario.run()
+        assert scenario.bound_guard.violations > 0
+        assert scenario.deployment.stage is Stage.ROLLED_BACK
+        snap = scenario.runtime.telemetry.snapshot()
+        assert snap["counters"].get("deployment.auto_rollbacks", 0) >= 1
+
+    def test_no_rollback_without_threshold(self):
+        scenario = bound_guard_scenario(
+            scale=0.2, seed=7, n_queries=64, n_sessions=4
+        )
+        scenario.run()
+        assert scenario.bound_guard.violations > 0
+        assert scenario.deployment.stage is not Stage.ROLLED_BACK
