@@ -61,6 +61,10 @@ BENCHMARKS: dict[str, tuple[str, str]] = {
         "bench_p8_bounds",
         "pessimistic bounds: soundness, guard visibility, risk-bounded p99",
     ),
+    "p9": (
+        "bench_p9_fabric",
+        "sharded fabric: 10^5-query scale-out, tenant isolation, determinism",
+    ),
 }
 
 

@@ -17,6 +17,7 @@ from repro.bench.report import (
     render_fault_stats,
     render_lifecycle_stats,
     render_rewrite_stats,
+    render_shard_stats,
     render_table,
 )
 from repro.bench.io import load_workload, save_workload
@@ -45,6 +46,7 @@ __all__ = [
     "render_fault_stats",
     "render_lifecycle_stats",
     "render_rewrite_stats",
+    "render_shard_stats",
     "save_workload",
     "load_workload",
     "WorkloadSpec",

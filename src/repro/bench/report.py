@@ -11,6 +11,7 @@ __all__ = [
     "render_fault_stats",
     "render_lifecycle_stats",
     "render_rewrite_stats",
+    "render_shard_stats",
 ]
 
 
@@ -165,3 +166,44 @@ def render_rewrite_stats(
     if not rows:
         rows = [("-", 0)]
     return render_table(title, ["stat", "value"], rows, note=note)
+
+
+def render_shard_stats(
+    fabric, *, title: str = "fabric shards", note: str | None = None
+) -> str:
+    """Render a :class:`repro.serve.ServingFabric`'s per-shard summary.
+
+    One row per shard -- router assignments, admission funnel (submitted
+    -> served, backend errors), virtual span and breaker trips -- plus a
+    totals row, so benchmark output shows load balance and failover at a
+    glance.  Used by ``benchmarks/bench_p9_fabric.py``.
+    """
+    router_stats = fabric.router.stats()
+    rows = []
+    totals = [0, 0, 0, 0, 0.0, 0]
+    for shard in fabric.shards:
+        st = shard.stats()
+        assigned = int(router_stats.get(f"assigned.{shard.name}", 0))
+        row = (
+            shard.name,
+            assigned,
+            int(st["submitted"]),
+            int(st["served"]),
+            int(st["errors"]),
+            st["span_ms"],
+            int(st["breaker_trips"]),
+        )
+        rows.append(row)
+        totals[0] += assigned
+        totals[1] += row[2]
+        totals[2] += row[3]
+        totals[3] += row[4]
+        totals[4] = max(totals[4], row[5])
+        totals[5] += row[6]
+    rows.append(("total", *totals))
+    return render_table(
+        title,
+        ["shard", "assigned", "submitted", "served", "errors", "span_ms", "trips"],
+        rows,
+        note=note,
+    )

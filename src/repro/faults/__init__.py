@@ -35,10 +35,12 @@ from repro.faults.plan import (
     FaultInjector,
     FaultPlan,
     FaultSpec,
+    FaultyBackend,
     FaultyDriver,
     FaultyEstimator,
     FaultyLearnedOptimizer,
     FaultySimulator,
+    shard_fault_plan,
 )
 from repro.faults.resilience import (
     BreakerState,
@@ -58,10 +60,12 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "FaultyBackend",
     "FaultyDriver",
     "FaultyEstimator",
     "FaultyLearnedOptimizer",
     "FaultySimulator",
     "RetryPolicy",
     "VirtualClock",
+    "shard_fault_plan",
 ]

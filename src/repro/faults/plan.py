@@ -48,6 +48,8 @@ __all__ = [
     "FaultyLearnedOptimizer",
     "FaultyDriver",
     "FaultySimulator",
+    "FaultyBackend",
+    "shard_fault_plan",
 ]
 
 #: Every fault class the harness can inject.
@@ -177,6 +179,9 @@ class FaultInjector:
 
     def wrap_simulator(self, simulator, target: str = "simulator"):
         return FaultySimulator(simulator, self, target)
+
+    def wrap_backend(self, backend, target: str = "backend"):
+        return FaultyBackend(backend, self, target)
 
 
 class _FaultyBase:
@@ -310,6 +315,71 @@ class FaultyDriver(_FaultyBase):
 
     def __getattr__(self, attr):
         return getattr(self.inner, attr)
+
+
+class FaultyBackend(_FaultyBase):
+    """Serving-backend wrapper: failures and latency spikes on ``serve``.
+
+    Wraps anything with the serving surface (``serve(query)`` returning a
+    decision with ``latency_ms``) -- a shard's deployment manager or a
+    synthetic backend -- so fault plans can target individual fabric
+    shards by name (``target="shard03"``).  Non-latency faults raise
+    :class:`~repro.core.errors.InjectedDriverError`, which the shard
+    records as a breaker failure; latency faults serve correctly but
+    slower.
+    """
+
+    def __init__(self, inner, injector: FaultInjector, target: str) -> None:
+        super().__init__(inner, injector, target)
+        self.name = f"{getattr(inner, 'name', type(inner).__name__)}+chaos"
+
+    def serve(self, query):
+        n = self.calls
+        spec = self._next_fault()
+        if spec is not None and spec.kind != "latency":
+            raise InjectedDriverError(
+                f"injected {spec.kind} in backend {self.target!r} at call {n}"
+            )
+        decision = self.inner.serve(query)
+        if spec is not None:
+            self.injector.clock.advance(spec.magnitude)
+            decision = replace(
+                decision, latency_ms=decision.latency_ms + spec.magnitude
+            )
+        return decision
+
+    def __getattr__(self, attr):
+        return getattr(self.inner, attr)
+
+
+def shard_fault_plan(
+    shard_targets: dict[str, float],
+    *,
+    seed: int = 0,
+    kind: str = "exception",
+    start_call: int = 0,
+    end_call: int | None = None,
+    magnitude: float = 100.0,
+) -> FaultPlan:
+    """A fault plan scoped to named fabric shards.
+
+    ``shard_targets`` maps a shard target name (``"shard03"``) to its
+    per-call fault rate; each gets one spec, so faults on one shard never
+    perturb another's call indices.  Used by the fabric rebalancing tests
+    and the hot-tenant drill to trip exactly one shard's breaker.
+    """
+    specs = tuple(
+        FaultSpec(
+            kind=kind,
+            rate=rate,
+            target=target,
+            start_call=start_call,
+            end_call=end_call,
+            magnitude=magnitude,
+        )
+        for target, rate in sorted(shard_targets.items())
+    )
+    return FaultPlan(specs, seed=seed)
 
 
 class FaultySimulator(_FaultyBase):

@@ -21,12 +21,13 @@ from repro.optimizer.cost import PlanCoster
 from repro.optimizer.hints import HintSet
 from repro.optimizer.plancache import PlanCache, rebind_plan
 from repro.optimizer.planner import Optimizer
-from repro.optimizer.risk import RISK_MODES, RiskCard, RiskCoster
+from repro.optimizer.risk import RISK_MODES, RiskCard, RiskCoster, RiskLambdaTuner
 
 __all__ = [
     "RISK_MODES",
     "RiskCard",
     "RiskCoster",
+    "RiskLambdaTuner",
     "ColumnStats",
     "TableStats",
     "DatabaseStats",

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from repro.core.errors import ConfigError
 from repro.optimizer.cost import PlanCoster
 
-__all__ = ["RiskCard", "RiskCoster", "RISK_MODES"]
+__all__ = ["RiskCard", "RiskCoster", "RiskLambdaTuner", "RISK_MODES"]
 
 #: the planner's accepted ``risk=`` values
 RISK_MODES = ("expected", "worst_case", "blended")
@@ -134,3 +134,112 @@ class RiskCoster:
 
     def cost(self, plan) -> float:
         return self._blend(self.expected.cost(plan), self.bound.cost(plan))
+
+
+class RiskLambdaTuner:
+    """Closed-loop ``risk_lambda`` control from observed bound violations.
+
+    The blend weight in risk-bounded planning is a trust dial: how much
+    should the planner believe the point estimator over the certified
+    bound?  The serving-side :class:`~repro.faults.BoundGuard` measures
+    exactly that trust empirically -- its violation rate is the fraction
+    of served estimates (and audited counts) that broke their
+    certificates.  The tuner closes the loop: every ``window`` new guard
+    checks it compares the *windowed* violation rate against
+    ``target_rate`` and either raises ``optimizer.risk_lambda`` by
+    ``step`` (the estimator is lying; plan more pessimistically) or
+    decays it by ``decay`` (a clean window; drift back toward expected-
+    cost planning).  The planner reads ``risk_lambda`` per ``plan()``
+    call, so adjustments take effect on the very next planning.
+
+    Deterministic: state advances only on :meth:`tick` (the deployment
+    calls it once per served query, inside the single-writer core), and
+    every adjustment is a pure function of the guard's counters.
+    """
+
+    def __init__(
+        self,
+        optimizer,
+        bound_guard,
+        *,
+        target_rate: float = 0.05,
+        window: int = 25,
+        step: float = 0.2,
+        decay: float = 0.05,
+        min_lambda: float = 0.0,
+        max_lambda: float = 1.0,
+        telemetry=None,
+    ) -> None:
+        if not 0.0 <= target_rate <= 1.0:
+            raise ConfigError("target_rate must be in [0, 1]")
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        if step <= 0 or decay < 0:
+            raise ConfigError("need step > 0 and decay >= 0")
+        if not 0.0 <= min_lambda <= max_lambda <= 1.0:
+            raise ConfigError("need 0 <= min_lambda <= max_lambda <= 1")
+        self.optimizer = optimizer
+        self.bound_guard = bound_guard
+        self.target_rate = float(target_rate)
+        self.window = int(window)
+        self.step = float(step)
+        self.decay = float(decay)
+        self.min_lambda = float(min_lambda)
+        self.max_lambda = float(max_lambda)
+        self.telemetry = telemetry
+        self.windows_observed = 0
+        self.raises = 0
+        self.decays = 0
+        self._checks_at_window = self._guard_checks()
+        self._violations_at_window = self.bound_guard.violations
+
+    def _guard_checks(self) -> int:
+        return self.bound_guard.checked + self.bound_guard.counts_observed
+
+    def tick(self) -> float:
+        """Advance the control loop; returns the current ``risk_lambda``.
+
+        No-op until the guard has accumulated ``window`` checks since the
+        previous adjustment.
+        """
+        checks = self._guard_checks()
+        new_checks = checks - self._checks_at_window
+        if new_checks < self.window:
+            return self.optimizer.risk_lambda
+        rate = (
+            self.bound_guard.violations - self._violations_at_window
+        ) / new_checks
+        self._checks_at_window = checks
+        self._violations_at_window = self.bound_guard.violations
+        self.windows_observed += 1
+        before = float(self.optimizer.risk_lambda)
+        if rate > self.target_rate:
+            after = min(self.max_lambda, before + self.step)
+            self.raises += 1
+            reason = "violations"
+        else:
+            after = max(self.min_lambda, before - self.decay)
+            self.decays += 1
+            reason = "clean_window"
+        if after != before:
+            self.optimizer.risk_lambda = after
+            if self.telemetry is not None:
+                self.telemetry.incr(f"risk_tuner.{reason}")
+                self.telemetry.event(
+                    "risk_lambda_adjusted",
+                    reason=reason,
+                    window_rate=float(rate),
+                    from_lambda=before,
+                    to_lambda=after,
+                )
+        return float(self.optimizer.risk_lambda)
+
+    def stats(self) -> dict[str, float]:
+        """Gauge-friendly snapshot (numbers only)."""
+        return {
+            "risk_lambda": float(self.optimizer.risk_lambda),
+            "windows_observed": float(self.windows_observed),
+            "raises": float(self.raises),
+            "decays": float(self.decays),
+            "target_rate": float(self.target_rate),
+        }

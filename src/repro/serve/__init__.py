@@ -21,10 +21,28 @@ workload and manages a learned optimizer's production lifecycle:
 - :mod:`repro.serve.scenarios` -- canned steady-state / mid-stream-drift /
   injected-regression / chaos setups used by
   ``benchmarks/bench_p2_serving.py``, ``benchmarks/bench_p3_chaos.py``
-  and the tests.
+  and the tests;
+- :mod:`repro.serve.fabric` -- the horizontally sharded, multi-tenant
+  serving fabric (:class:`ServingFabric`, :class:`ShardRouter`,
+  :class:`TenantRegistry`, :class:`TelemetryAggregator`) scaling the
+  runtime out to N shards with QoS-aware routing.
 """
 
 from repro.serve.deployment import DeploymentManager, ServeDecision, Stage
+from repro.serve.fabric import (
+    FabricConfig,
+    FabricReport,
+    FabricRequest,
+    ServingFabric,
+    ShardRouter,
+    ShardRuntime,
+    TelemetryAggregator,
+    TenantRegistry,
+    TenantSpec,
+    build_fabric_schedule,
+    sharded_fabric_scenario,
+    synthetic_fabric,
+)
 from repro.serve.runtime import (
     ConsoleBackend,
     Rejected,
@@ -54,8 +72,17 @@ from repro.serve.telemetry import Histogram, TelemetryBus, TraceRecord
 __all__ = [
     "ConsoleBackend",
     "DeploymentManager",
+    "FabricConfig",
+    "FabricReport",
+    "FabricRequest",
     "PlannerBackend",
     "Histogram",
+    "ServingFabric",
+    "ShardRouter",
+    "ShardRuntime",
+    "TelemetryAggregator",
+    "TenantRegistry",
+    "TenantSpec",
     "Rejected",
     "RegressionInjector",
     "Request",
@@ -70,6 +97,7 @@ __all__ = [
     "TraceRecord",
     "adversarial_drift_scenario",
     "bound_guard_scenario",
+    "build_fabric_schedule",
     "build_schedule",
     "chaos_scenario",
     "default_bound_fault_plan",
@@ -77,5 +105,7 @@ __all__ = [
     "drift_scenario",
     "injected_regression_scenario",
     "parameterized_scenario",
+    "sharded_fabric_scenario",
     "steady_state_scenario",
+    "synthetic_fabric",
 ]

@@ -122,6 +122,7 @@ class DeploymentManager:
         bound_guard=None,
         bound_violation_rollback: float | None = None,
         min_bound_checks: int = 20,
+        risk_tuner=None,
     ) -> None:
         """``breaker`` guards the learned optimizer: exceptions and
         latency-budget blow-outs from ``choose_plan`` are recorded as
@@ -156,7 +157,12 @@ class DeploymentManager:
         whose guard reports a violation rate above that threshold (after
         at least ``min_bound_checks`` checks) is rolled back -- a model
         whose estimates routinely exceed their certified upper bounds is
-        broken even if its plans happen to run fast so far."""
+        broken even if its plans happen to run fast so far.
+
+        ``risk_tuner`` is an optional :class:`repro.optimizer.
+        RiskLambdaTuner`: it is ticked once per served query (inside the
+        single-writer core, so deterministically), auto-tuning the
+        planner's ``risk_lambda`` from the guard's violation rate."""
         if not 0.0 < canary_fraction <= 1.0:
             raise ConfigError("canary_fraction must be in (0, 1]")
         if min_samples < 1 or window < min_samples:
@@ -194,6 +200,7 @@ class DeploymentManager:
         self.bound_guard = bound_guard
         self.bound_violation_rollback = bound_violation_rollback
         self.min_bound_checks = min_bound_checks
+        self.risk_tuner = risk_tuner
         self.queries_served = 0
         self.learned_failures = 0
         self.degraded_serves = 0
@@ -212,6 +219,10 @@ class DeploymentManager:
             if bound_guard.telemetry is None:
                 bound_guard.telemetry = self.telemetry
             self.telemetry.attach_gauge("bound_guard", bound_guard.stats)
+        if risk_tuner is not None:
+            if risk_tuner.telemetry is None:
+                risk_tuner.telemetry = self.telemetry
+            self.telemetry.attach_gauge("risk_tuner", risk_tuner.stats)
         for i, g in enumerate(guards):
             if hasattr(g, "intervention_rate"):
                 self.telemetry.attach_gauge(
@@ -542,6 +553,8 @@ class DeploymentManager:
         if decision.regression is not None:
             bus.observe("regression_ratio", decision.regression)
         self._check_bound_violation_rate()
+        if self.risk_tuner is not None:
+            self.risk_tuner.tick()
 
     def cache_stats(self) -> dict | None:
         return self.native.cache_stats() if hasattr(self.native, "cache_stats") else None

@@ -1,0 +1,58 @@
+"""Fabric-wide telemetry aggregation.
+
+:class:`TelemetryAggregator` owns the mapping from source name (the
+fabric bus plus one bus per shard) to :class:`~repro.serve.telemetry.
+TelemetryBus` and produces one merged export via
+:meth:`TelemetryBus.merged`.  All the heavy lifting -- summing counters,
+pooling exact-percentile histogram samples, re-emitting events with a
+``source`` field, namespacing gauges -- lives on the bus classes; the
+aggregator's job is to fix the *source naming* (``"fabric"``,
+``"shard00"``...) so merged gauge/event names are stable, and to assert
+the property the determinism gate relies on: merge order cannot change
+the export bytes (sources are composed in sorted-name order regardless
+of insertion order).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import ConfigError
+from repro.serve.telemetry import TelemetryBus
+
+__all__ = ["TelemetryAggregator"]
+
+
+class TelemetryAggregator:
+    """Merge per-shard buses plus the fabric bus into one export."""
+
+    def __init__(
+        self,
+        *,
+        fabric_bus: TelemetryBus | None = None,
+        shard_buses: dict[str, TelemetryBus] | None = None,
+    ) -> None:
+        self.sources: dict[str, TelemetryBus] = {}
+        if fabric_bus is not None:
+            self.add_source("fabric", fabric_bus)
+        for name, bus in (shard_buses or {}).items():
+            self.add_source(name, bus)
+
+    def add_source(self, name: str, bus: TelemetryBus) -> None:
+        if name in self.sources:
+            raise ConfigError(f"telemetry source {name!r} already registered")
+        self.sources[name] = bus
+
+    def merged(self, *, trace_capacity: int | None = None) -> TelemetryBus:
+        """One composed bus over all sources (see :meth:`TelemetryBus.merged`)."""
+        return TelemetryBus.merged(
+            self.sources, trace_capacity=trace_capacity
+        )
+
+    def snapshot(self) -> dict:
+        return self.merged().snapshot()
+
+    def export_json(self, *, include_traces: bool = False) -> str:
+        """Deterministic merged export: canonical JSON, sorted keys."""
+        return self.merged().to_json(include_traces=include_traces)
+
+    def render_text(self) -> str:
+        return self.merged().render_text()

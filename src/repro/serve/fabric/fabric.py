@@ -1,0 +1,313 @@
+"""The serving fabric: tenants in, shards out, one deterministic loop.
+
+:class:`ServingFabric` composes the subsystem: a
+:class:`~repro.serve.fabric.tenants.TenantRegistry` decides quota
+admission per tenant, a :class:`~repro.serve.fabric.router.ShardRouter`
+places admitted requests on one of N :class:`~repro.serve.fabric.shard.
+ShardRuntime` shards, and a :class:`~repro.serve.fabric.aggregate.
+TelemetryAggregator` merges the per-shard buses plus the fabric's own bus
+into one export.  :meth:`ServingFabric.run` drains a
+:func:`build_fabric_schedule` in global arrival order -- a single
+deterministic loop, so two same-seed runs produce byte-identical fabric
+exports even though 16+ shards serve concurrently *in virtual time*.
+
+Request lifecycle, in order:
+
+1. **quota** -- the tenant's token bucket (reject reason ``"quota"``);
+2. **routing** -- two-choice placement by ``query_hash`` or tenant id,
+   skipping shards whose breaker is open (``"unavailable"`` when no
+   shard is healthy);
+3. **QoS shed** -- ``background`` tenants are shed when the target
+   shard's backlog exceeds a low watermark, ``batch`` at a higher one
+   (``"qos_shed"``); ``interactive`` is never shed here;
+4. **shard admission + service** -- the shard's own virtual-time
+   admission control (timeout / queue_full / overload / shard_open /
+   error) and backend.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigError
+from repro.serve.deployment import query_hash
+from repro.serve.fabric.aggregate import TelemetryAggregator
+from repro.serve.fabric.router import ShardRouter
+from repro.serve.fabric.shard import ShardRuntime
+from repro.serve.fabric.tenants import TenantRegistry, TenantSpec
+from repro.serve.runtime import Rejected, Request, Served
+from repro.serve.telemetry import TelemetryBus
+from repro.sql.query import Query
+
+__all__ = [
+    "FabricRequest",
+    "FabricConfig",
+    "FabricReport",
+    "ServingFabric",
+    "build_fabric_schedule",
+]
+
+
+@dataclass(frozen=True)
+class FabricRequest:
+    """One scheduled request, tagged with the tenant that issued it."""
+
+    tenant_id: str
+    request: Request
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """Fabric-level knobs (shard-level knobs live on each shard's
+    :class:`~repro.serve.runtime.RuntimeConfig`).
+
+    The shed backlogs are in-flight request counts on the *target* shard
+    at arrival: ``background`` traffic is shed first (low watermark),
+    ``batch`` later (high watermark), ``interactive`` only by the shard's
+    own admission control.  ``keep_outcomes=False`` drops the per-request
+    outcome list from the report -- counters and histograms only -- which
+    large benchmark runs use to bound memory.
+    """
+
+    route_mode: str = "query_hash"
+    seed: int = 0
+    background_shed_backlog: int = 8
+    batch_shed_backlog: int = 24
+    keep_outcomes: bool = True
+
+    def __post_init__(self) -> None:
+        if self.background_shed_backlog < 0 or self.batch_shed_backlog < 0:
+            raise ConfigError("shed backlogs must be >= 0")
+        if self.background_shed_backlog > self.batch_shed_backlog:
+            raise ConfigError(
+                "background must shed at or below the batch watermark"
+            )
+
+
+@dataclass(frozen=True)
+class FabricReport:
+    """Aggregate outcome of one :meth:`ServingFabric.run`."""
+
+    n_requests: int
+    n_served: int
+    rejected: dict[str, int]  # reason -> count, fabric- and shard-level
+    wall_seconds: float
+    simulated_span_ms: float
+    shard_served: list[int]
+    tenant_latency: dict[str, dict[str, float]]  # tenant -> summary
+    outcomes: list = field(default_factory=list)
+
+    @property
+    def simulated_qps(self) -> float:
+        span_s = self.simulated_span_ms / 1_000.0
+        return self.n_served / span_s if span_s else 0.0
+
+    @property
+    def wall_qps(self) -> float:
+        return self.n_served / self.wall_seconds if self.wall_seconds else 0.0
+
+
+class _BacklogView:
+    """Lazy per-shard backlog, indexed by the router on the hot path."""
+
+    __slots__ = ("shards", "at_ms")
+
+    def __init__(self, shards: list[ShardRuntime]) -> None:
+        self.shards = shards
+        self.at_ms = 0.0
+
+    def __getitem__(self, i: int) -> int:
+        return self.shards[i].backlog(self.at_ms)
+
+
+class _HealthView:
+    """Lazy per-shard breaker health, indexed by the router."""
+
+    __slots__ = ("shards", "at_ms")
+
+    def __init__(self, shards: list[ShardRuntime]) -> None:
+        self.shards = shards
+        self.at_ms = 0.0
+
+    def __getitem__(self, i: int) -> bool:
+        return self.shards[i].healthy(self.at_ms)
+
+
+class ServingFabric:
+    """N shards, one router, one tenant registry, one merged export."""
+
+    def __init__(
+        self,
+        shards: list[ShardRuntime],
+        tenants: TenantRegistry,
+        *,
+        config: FabricConfig | None = None,
+        router: ShardRouter | None = None,
+        telemetry: TelemetryBus | None = None,
+    ) -> None:
+        if not shards:
+            raise ConfigError("fabric needs at least one shard")
+        self.shards = list(shards)
+        self.tenants = tenants
+        self.config = config if config is not None else FabricConfig()
+        self.router = (
+            router
+            if router is not None
+            else ShardRouter(
+                len(self.shards),
+                mode=self.config.route_mode,
+                seed=self.config.seed,
+            )
+        )
+        if self.router.n_shards != len(self.shards):
+            raise ConfigError("router shard count != fabric shard count")
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
+        self.telemetry.attach_gauge("router", self.router.stats)
+        self.telemetry.attach_gauge("tenants", self.tenants.stats)
+        self.aggregator = TelemetryAggregator(
+            fabric_bus=self.telemetry,
+            shard_buses={s.name: s.telemetry for s in self.shards},
+        )
+
+    # -- the event loop -----------------------------------------------------------
+
+    def run(self, schedule: list[FabricRequest]) -> FabricReport:
+        """Drain a fabric schedule in global arrival order."""
+        bus = self.telemetry
+        config = self.config
+        qos_of = self.tenants.qos
+        backlogs = _BacklogView(self.shards)
+        health = _HealthView(self.shards)
+        outcomes: list = []
+        rejected: dict[str, int] = {}
+        n_served = 0
+        t0 = time.perf_counter()
+        for freq in schedule:
+            req = freq.request
+            tenant = freq.tenant_id
+            arrival = req.arrival_ms
+            reason = self.tenants.admit(tenant, arrival)
+            if reason is None:
+                backlogs.at_ms = arrival
+                health.at_ms = arrival
+                key = self.router.routing_key(query_hash(req.query), tenant)
+                shard_id = self.router.route(
+                    key, loads=backlogs, healthy=health
+                )
+                if shard_id is None:
+                    reason = "unavailable"
+                else:
+                    qos = qos_of(tenant)
+                    if qos != "interactive":
+                        watermark = (
+                            config.background_shed_backlog
+                            if qos == "background"
+                            else config.batch_shed_backlog
+                        )
+                        if self.shards[shard_id].backlog(arrival) > watermark:
+                            reason = "qos_shed"
+            if reason is not None:
+                outcome = Rejected(request=req, reason=reason, wait_ms=0.0)
+                bus.incr(f"fabric.rejected.{reason}")
+                bus.incr(f"tenant.{tenant}.rejected")
+            else:
+                outcome = self.shards[shard_id].submit(req)
+                if isinstance(outcome, Served):
+                    n_served += 1
+                    bus.incr("fabric.served")
+                    bus.incr(f"tenant.{tenant}.served")
+                    bus.observe(
+                        f"tenant.{tenant}.response_ms",
+                        outcome.wait_ms + outcome.latency_ms,
+                    )
+                else:
+                    bus.incr(f"tenant.{tenant}.rejected")
+            if not isinstance(outcome, Served):
+                rejected[outcome.reason] = rejected.get(outcome.reason, 0) + 1
+            if config.keep_outcomes:
+                outcomes.append(outcome)
+        wall = time.perf_counter() - t0
+        span = max((s.span_ms for s in self.shards), default=0.0)
+        return FabricReport(
+            n_requests=len(schedule),
+            n_served=n_served,
+            rejected=dict(sorted(rejected.items())),
+            wall_seconds=wall,
+            simulated_span_ms=span,
+            shard_served=[s.served for s in self.shards],
+            tenant_latency=self._tenant_latency(),
+            outcomes=outcomes,
+        )
+
+    def _tenant_latency(self) -> dict[str, dict[str, float]]:
+        """Per-tenant end-to-end (wait + service) latency summaries."""
+        out: dict[str, dict[str, float]] = {}
+        for tid in self.tenants.tenant_ids():
+            hist = self.telemetry._hists.get(f"tenant.{tid}.response_ms")
+            out[tid] = (
+                hist.summary()
+                if hist is not None
+                else {
+                    "count": 0,
+                    "mean": 0.0,
+                    "p50": 0.0,
+                    "p95": 0.0,
+                    "p99": 0.0,
+                    "max": 0.0,
+                }
+            )
+        return out
+
+    # -- export -------------------------------------------------------------------
+
+    def export_json(self, *, include_traces: bool = False) -> str:
+        """The fabric-wide merged telemetry export (deterministic bytes)."""
+        return self.aggregator.export_json(include_traces=include_traces)
+
+
+def build_fabric_schedule(
+    queries: list[Query],
+    specs: list[TenantSpec] | tuple,
+    *,
+    seed: int = 0,
+    mean_interarrival_ms: float = 5.0,
+) -> list[FabricRequest]:
+    """Deterministic tenant mix + global arrival process for a workload.
+
+    Each query draws its tenant from the specs' ``weight`` distribution
+    and its arrival gap from one global exponential process -- both from
+    the same seeded generator, so the schedule is a pure function of
+    ``(queries, specs, seed, mean_interarrival_ms)``.  Per-request
+    identity (``session_id`` = tenant index in ``specs``, ``seq`` =
+    per-tenant ordinal) is what trace records sort by fabric-wide.
+    """
+    import numpy as np
+
+    if not specs:
+        raise ConfigError("need at least one tenant spec")
+    rng = np.random.default_rng((int(seed), 9))
+    weights = np.array([s.weight for s in specs], dtype=float)
+    weights /= weights.sum()
+    choices = rng.choice(len(specs), size=len(queries), p=weights)
+    arrivals = np.cumsum(
+        rng.exponential(mean_interarrival_ms, size=len(queries))
+    )
+    per_tenant_seq = [0] * len(specs)
+    schedule: list[FabricRequest] = []
+    for i, query in enumerate(queries):
+        t = int(choices[i])
+        schedule.append(
+            FabricRequest(
+                tenant_id=specs[t].tenant_id,
+                request=Request(
+                    session_id=t,
+                    seq=per_tenant_seq[t],
+                    global_seq=i,
+                    arrival_ms=float(arrivals[i]),
+                    query=query,
+                ),
+            )
+        )
+        per_tenant_seq[t] += 1
+    return schedule

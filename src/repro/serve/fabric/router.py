@@ -1,0 +1,138 @@
+"""Deterministic, load- and health-aware shard routing.
+
+:class:`ShardRouter` partitions traffic over ``n_shards`` serving shards
+by the canonical :func:`repro.sql.query.query_hash` (the same 12-hex
+identity the canary split, the cardinality cache and the plan cache key
+by) or by tenant id.  Placement is *two-choice*: each routing key hashes
+to an ordered pair of candidate shards (a seeded sha256 derivation, so
+the pair is a pure function of ``(seed, key)``), and the less-loaded
+healthy candidate wins, ties broken toward the primary candidate and
+then the lower shard id.  Power-of-two-choices keeps shard load within a
+whisker of perfectly balanced without any global coordination -- which is
+what the P9 near-linear-scaling gate measures -- while keeping the
+routing table a pure function: same seed + same key + same (load,
+health) observations = same shard, every run.
+
+Health comes from the per-shard circuit breakers: a shard behind an OPEN
+breaker (cooldown not yet elapsed) is excluded, and its traffic fails
+over to the other candidate -- or, if both candidates are down, to the
+first healthy shard scanning from the primary candidate (deterministic
+rotation).  When every shard is unhealthy the router returns ``None``
+and the fabric sheds the request as ``unavailable`` rather than queueing
+on a known-bad shard.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.core.errors import ConfigError
+
+__all__ = ["ROUTE_MODES", "ShardRouter"]
+
+#: accepted partitioning modes
+ROUTE_MODES = ("query_hash", "tenant")
+
+
+class ShardRouter:
+    """Two-choice rendezvous routing over ``n_shards`` with failover."""
+
+    def __init__(
+        self,
+        n_shards: int,
+        *,
+        mode: str = "query_hash",
+        seed: int = 0,
+    ) -> None:
+        if n_shards < 1:
+            raise ConfigError("need at least one shard")
+        if mode not in ROUTE_MODES:
+            raise ConfigError(f"unknown route mode {mode!r}; one of {ROUTE_MODES}")
+        self.n_shards = n_shards
+        self.mode = mode
+        self.seed = int(seed)
+        self.assignments = [0] * n_shards
+        self.reroutes = 0  # served off the primary candidate (health)
+        self.unroutable = 0  # every shard unhealthy
+        self._pairs: dict[str, tuple[int, int]] = {}
+
+    # -- candidate derivation ----------------------------------------------------
+
+    def candidates(self, key: str) -> tuple[int, int]:
+        """The deterministic (primary, secondary) shard pair for a key.
+
+        Derived from one sha256 over ``(seed, key)``: the first 8 bytes
+        pick the primary, the next 8 pick the secondary from the
+        remaining shards (guaranteed distinct when ``n_shards > 1``).
+        Memoized per key -- workloads reuse query hashes heavily.
+        """
+        pair = self._pairs.get(key)
+        if pair is None:
+            digest = hashlib.sha256(
+                f"route|{self.seed}|{key}".encode()
+            ).digest()
+            first = int.from_bytes(digest[:8], "big") % self.n_shards
+            if self.n_shards == 1:
+                pair = (0, 0)
+            else:
+                second = int.from_bytes(digest[8:16], "big") % (
+                    self.n_shards - 1
+                )
+                if second >= first:
+                    second += 1
+                pair = (first, second)
+            self._pairs[key] = pair
+        return pair
+
+    # -- routing -----------------------------------------------------------------
+
+    def route(self, key: str, *, loads, healthy) -> int | None:
+        """Pick the shard for one request.
+
+        ``loads`` and ``healthy`` are indexable views of the current
+        per-shard backlog and health (the fabric passes bound methods
+        evaluated lazily, so only the candidates are inspected on the hot
+        path).  Returns the shard id, or ``None`` when no shard is
+        healthy.  Deterministic: the decision depends only on
+        ``(seed, key)`` and the observed (load, health) values, and ties
+        prefer the primary candidate, then the lower shard id.
+        """
+        first, second = self.candidates(key)
+        chosen: int | None = None
+        if healthy[first]:
+            chosen = first
+            if second != first and healthy[second]:
+                if loads[second] < loads[first]:
+                    chosen = second
+        elif second != first and healthy[second]:
+            chosen = second
+        else:
+            for step in range(self.n_shards):
+                probe = (first + step) % self.n_shards
+                if healthy[probe]:
+                    chosen = probe
+                    break
+        if chosen is None:
+            self.unroutable += 1
+            return None
+        self.assignments[chosen] += 1
+        if chosen != first:
+            self.reroutes += 1
+        return chosen
+
+    def routing_key(self, query_hash_value: str, tenant_id: str) -> str:
+        """The partition key under the configured mode."""
+        return query_hash_value if self.mode == "query_hash" else tenant_id
+
+    # -- reporting ---------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Gauge-friendly snapshot: per-shard assignment counts, reroutes."""
+        out: dict[str, float] = {
+            f"assigned.shard{i:02d}": float(n)
+            for i, n in enumerate(self.assignments)
+        }
+        out["reroutes"] = float(self.reroutes)
+        out["unroutable"] = float(self.unroutable)
+        out["keys"] = float(len(self._pairs))
+        return out

@@ -1,0 +1,356 @@
+"""Canned fabric assemblies for tests, benchmarks and examples.
+
+Two tiers, matching how the subsystem is validated:
+
+- :func:`synthetic_fabric` serves through :class:`SyntheticBackend` --
+  virtual latency derived purely from the query hash -- so the fabric
+  layer itself (routing, quotas, QoS shedding, breaker failover, merge
+  determinism) can be measured at 10^5+ requests across 16+ shards in
+  seconds.  This is what ``bench_p9_fabric.py`` gates scaling and
+  fairness on.
+- :func:`sharded_fabric_scenario` assembles the *real* per-shard stack:
+  each shard gets its own :class:`~repro.serve.deployment.
+  DeploymentManager` (Bao-style learned optimizer staged CANARY over the
+  native planner), its own plan cache, its own :class:`~repro.faults.
+  BoundGuard`, and its own circuit breaker on its own virtual clock --
+  the full production topology at test scale.
+
+Both support a seeded :class:`~repro.faults.FaultPlan` whose specs
+target shards by name (``"shard03"``), so breaker-trip-and-reroute
+behaviour is reproducible byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cardest.bounds import MCVJoinBoundEstimator
+from repro.e2e.bao import BaoOptimizer
+from repro.engine.simulator import ExecutionSimulator
+from repro.faults import CircuitBreaker, FaultInjector, FaultPlan
+from repro.faults.clock import VirtualClock
+from repro.optimizer.plancache import PlanCache
+from repro.optimizer.planner import Optimizer
+from repro.optimizer.traditional import TraditionalCardinalityEstimator
+from repro.serve.deployment import DeploymentManager, Stage, query_hash
+from repro.serve.fabric.fabric import (
+    FabricConfig,
+    FabricRequest,
+    ServingFabric,
+    build_fabric_schedule,
+)
+from repro.serve.fabric.shard import ShardRuntime
+from repro.serve.fabric.tenants import TenantRegistry, TenantSpec
+from repro.serve.runtime import RuntimeConfig
+from repro.serve.telemetry import TelemetryBus
+from repro.sql.generator import WorkloadGenerator
+from repro.sql.query import Query
+from repro.storage.datasets import make_stats_lite
+
+__all__ = [
+    "SyntheticBackend",
+    "FabricScenario",
+    "default_tenant_specs",
+    "hot_tenant_specs",
+    "synthetic_queries",
+    "synthetic_fabric",
+    "sharded_fabric_scenario",
+]
+
+#: multiplier for seed scrambling in SyntheticBackend (splitmix64 constant)
+_MIX = 0x9E3779B97F4A7C15
+
+
+@dataclass(frozen=True)
+class _SyntheticDecision:
+    stage: str
+    plan_source: str
+    latency_ms: float
+    cardinality: int
+
+
+class SyntheticBackend:
+    """A deterministic constant-time serving backend for scale runs.
+
+    Service latency is a pure function of ``(seed, query_hash)`` --
+    uniform on ``[base_latency_ms, base_latency_ms + spread_ms)`` -- so
+    a query costs the same wherever it is routed (which is what makes
+    shard-count scaling comparisons apples to apples) and two same-seed
+    runs are byte-identical.  No planner, no simulator: the fabric layer
+    is the system under test.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        base_latency_ms: float = 4.0,
+        spread_ms: float = 8.0,
+    ) -> None:
+        self.seed = int(seed)
+        self.base_latency_ms = float(base_latency_ms)
+        self.spread_ms = float(spread_ms)
+        self.name = "synthetic"
+        self.calls = 0
+
+    def serve(self, query: Query) -> _SyntheticDecision:
+        self.calls += 1
+        h = int(query_hash(query), 16)
+        mixed = (h ^ (self.seed * _MIX)) & 0xFFFFFFFFFFFF
+        u = mixed / float(1 << 48)
+        return _SyntheticDecision(
+            stage="live",
+            plan_source="synthetic",
+            latency_ms=self.base_latency_ms + self.spread_ms * u,
+            cardinality=h % 1_000_000,
+        )
+
+
+@dataclass
+class FabricScenario:
+    """A fully-assembled fabric: run it, inspect the pieces."""
+
+    name: str
+    fabric: ServingFabric
+    schedule: list[FabricRequest]
+    specs: tuple[TenantSpec, ...]
+    injector: FaultInjector | None = None
+    db: object = None
+
+    def run(self):
+        return self.fabric.run(self.schedule)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.schedule)
+
+
+def default_tenant_specs(
+    n_tenants: int = 6, *, rate_per_s: float | None = None
+) -> tuple[TenantSpec, ...]:
+    """Equal-weight tenants cycling through the QoS classes."""
+    qos_cycle = ("interactive", "batch", "background")
+    return tuple(
+        TenantSpec(
+            tenant_id=f"tenant{i:02d}",
+            qos=qos_cycle[i % len(qos_cycle)],
+            rate_per_s=rate_per_s,
+        )
+        for i in range(n_tenants)
+    )
+
+
+def hot_tenant_specs(
+    *,
+    n_victims: int = 3,
+    hot_weight: float = 8.0,
+    hot_rate_per_s: float | None = None,
+) -> tuple[TenantSpec, ...]:
+    """A hot-tenant skew mix: one ``batch`` tenant issuing ``hot_weight``
+    times its fair share of traffic, alongside ``n_victims`` interactive
+    tenants.  The fairness gate runs this against the same specs at
+    ``hot_weight=1`` and bounds the victims' p99 inflation."""
+    victims = tuple(
+        TenantSpec(tenant_id=f"victim{i:02d}", qos="interactive")
+        for i in range(n_victims)
+    )
+    hot = TenantSpec(
+        tenant_id="hot",
+        qos="batch",
+        weight=hot_weight,
+        rate_per_s=hot_rate_per_s,
+        burst=max(32.0, hot_rate_per_s or 32.0),
+    )
+    return victims + (hot,)
+
+
+def synthetic_queries(
+    n_templates: int = 240, *, seed: int = 0, scale: float = 0.05
+) -> list[Query]:
+    """A pool of distinct query templates for synthetic fabric runs.
+
+    Scale runs tile these over 10^5+ requests: real workloads repeat
+    templates heavily, ``query_hash`` memoizes per Query object, and the
+    router sees a realistic (finite) key population.
+    """
+    db = make_stats_lite(scale=scale, seed=seed)
+    return WorkloadGenerator(db, seed=seed + 1).workload(
+        n_templates, 2, 3, require_predicate=True
+    )
+
+
+def synthetic_fabric(
+    n_shards: int,
+    specs: tuple[TenantSpec, ...] | list,
+    *,
+    seed: int = 0,
+    n_workers: int = 2,
+    base_latency_ms: float = 4.0,
+    spread_ms: float = 8.0,
+    shard_config: RuntimeConfig | None = None,
+    fabric_config: FabricConfig | None = None,
+    trace_capacity: int = 256,
+    fault_plan: FaultPlan | None = None,
+    breaker_failure_threshold: int = 3,
+    breaker_cooldown_ms: float = 500.0,
+) -> FabricScenario:
+    """Assemble a synthetic-backend fabric (no schedule attached yet --
+    pair with :func:`synthetic_queries` + :func:`build_fabric_schedule`,
+    or use the returned scenario's empty schedule slot)."""
+    config = (
+        fabric_config
+        if fabric_config is not None
+        else FabricConfig(seed=seed)
+    )
+    injector = (
+        FaultInjector(fault_plan) if fault_plan is not None else None
+    )
+    shards: list[ShardRuntime] = []
+    for i in range(n_shards):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=breaker_failure_threshold,
+            cooldown_ms=breaker_cooldown_ms,
+            clock=clock,
+            name=f"shard{i:02d}",
+        )
+        backend = SyntheticBackend(
+            seed=seed,
+            base_latency_ms=base_latency_ms,
+            spread_ms=spread_ms,
+        )
+        if injector is not None:
+            backend = injector.wrap_backend(backend, target=f"shard{i:02d}")
+        shards.append(
+            ShardRuntime(
+                i,
+                backend,
+                n_workers=n_workers,
+                config=shard_config,
+                telemetry=TelemetryBus(trace_capacity=trace_capacity),
+                breaker=breaker,
+                clock=clock,
+            )
+        )
+    fabric = ServingFabric(
+        shards, TenantRegistry(specs), config=config
+    )
+    if injector is not None:
+        fabric.telemetry.attach_gauge("fault_injector", injector.stats)
+    return FabricScenario(
+        name=f"synthetic:{n_shards}shards",
+        fabric=fabric,
+        schedule=[],
+        specs=tuple(specs),
+        injector=injector,
+    )
+
+
+def _make_bound_guard(db, native, bus):
+    """One shard's bound guard: the native estimator certified against a
+    pessimistic MCV-join bound, histogram fallback, no private breaker
+    (the shard breaker owns routing health)."""
+    from repro.faults.boundguard import BoundGuard
+
+    return BoundGuard(
+        native.estimator,
+        MCVJoinBoundEstimator(db),
+        TraditionalCardinalityEstimator(db),
+        telemetry=bus,
+    )
+
+
+def sharded_fabric_scenario(
+    *,
+    n_shards: int = 4,
+    scale: float = 0.3,
+    seed: int = 0,
+    n_queries: int = 96,
+    specs: tuple[TenantSpec, ...] | None = None,
+    mean_interarrival_ms: float = 30.0,
+    shard_config: RuntimeConfig | None = None,
+    fabric_config: FabricConfig | None = None,
+    stage: Stage = Stage.CANARY,
+    fault_plan: FaultPlan | None = None,
+) -> FabricScenario:
+    """The full per-shard production stack at test scale.
+
+    One shared database; per shard, a complete serving stack: a native
+    optimizer with its own cardinality cache, a Bao-style learned
+    optimizer staged behind that shard's own
+    :class:`~repro.serve.deployment.DeploymentManager`, a per-shard
+    :class:`~repro.optimizer.PlanCache`, a per-shard
+    :class:`~repro.faults.BoundGuard` over the estimator feeding the
+    learned side, and a per-shard circuit breaker on a per-shard virtual
+    clock.  A ``fault_plan`` with shard-named targets wraps those
+    backends in the fault injector for reroute drills.
+    """
+    db = make_stats_lite(scale=scale, seed=seed)
+    if specs is None:
+        specs = default_tenant_specs()
+    injector = FaultInjector(fault_plan) if fault_plan is not None else None
+    shards: list[ShardRuntime] = []
+    for i in range(n_shards):
+        clock = VirtualClock()
+        breaker = CircuitBreaker(
+            failure_threshold=3,
+            cooldown_ms=500.0,
+            clock=clock,
+            name=f"shard{i:02d}",
+        )
+        bus = TelemetryBus()
+        native = Optimizer(db)
+        guard = _make_bound_guard(db, native, bus)
+        learned = BaoOptimizer(native.with_estimator(guard), seed=seed + i)
+        deployment = DeploymentManager(
+            learned,
+            native,
+            ExecutionSimulator(db),
+            telemetry=bus,
+            stage=stage,
+            canary_fraction=0.5,
+            regression_threshold=3.0,
+            window=40,
+            min_samples=15,
+            plan_cache=PlanCache(),
+            bound_guard=guard,
+        )
+        backend = deployment
+        if injector is not None:
+            backend = injector.wrap_backend(
+                deployment, target=f"shard{i:02d}"
+            )
+        shards.append(
+            ShardRuntime(
+                i,
+                backend,
+                n_workers=1,
+                config=shard_config,
+                telemetry=bus,
+                breaker=breaker,
+                clock=clock,
+            )
+        )
+    fabric = ServingFabric(
+        shards,
+        TenantRegistry(specs),
+        config=(
+            fabric_config if fabric_config is not None else FabricConfig(seed=seed)
+        ),
+    )
+    if injector is not None:
+        fabric.telemetry.attach_gauge("fault_injector", injector.stats)
+    queries = WorkloadGenerator(db, seed=seed + 1).workload(
+        n_queries, 2, 4, require_predicate=True
+    )
+    schedule = build_fabric_schedule(
+        queries, specs, seed=seed, mean_interarrival_ms=mean_interarrival_ms
+    )
+    return FabricScenario(
+        name=f"sharded:{n_shards}shards",
+        fabric=fabric,
+        schedule=schedule,
+        specs=tuple(specs),
+        injector=injector,
+        db=db,
+    )

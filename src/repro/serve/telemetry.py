@@ -67,6 +67,35 @@ class Histogram:
         rank = min(len(ordered) - 1, int(round(q / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
+    @classmethod
+    def merged(
+        cls, histograms: "list[Histogram]", capacity: int | None = None
+    ) -> "Histogram":
+        """Combine histograms recorded independently (e.g. one per shard).
+
+        The merge is a pure function of the *multiset* of inputs: retained
+        samples are pooled, sorted, then decimated once against the target
+        capacity, and the stream totals (``count``/``total``/``max``) add.
+        Because the pooled sample is sorted before any decimation, merging
+        the same histograms in any order produces byte-identical summaries
+        -- the property the fabric aggregator's determinism gate relies on.
+        """
+        if capacity is None:
+            capacity = max((h.capacity for h in histograms), default=65_536)
+        out = cls(capacity)
+        values: list[float] = []
+        for h in histograms:
+            values.extend(h._values)
+            out.count += h.count
+            out.total += h.total
+            if h._max > out._max:
+                out._max = h._max
+        values.sort()
+        while len(values) > capacity:
+            values = values[::2]
+        out._values = values
+        return out
+
     def summary(self) -> dict[str, float]:
         return {
             "count": self.count,
@@ -147,6 +176,62 @@ class TelemetryBus:
         """Register an external stats source sampled at snapshot time."""
         with self._lock:
             self._gauges[name] = stats_fn
+
+    # -- merging -----------------------------------------------------------------
+
+    @classmethod
+    def merged(
+        cls,
+        buses: "dict[str, TelemetryBus]",
+        *,
+        trace_capacity: int | None = None,
+    ) -> "TelemetryBus":
+        """Compose per-source buses into one fabric-level bus.
+
+        ``buses`` maps a source name (e.g. ``"shard03"``) to its bus.  The
+        merge composes the *exports* without re-deriving anything from
+        traces: counters add by name, histograms merge as multiset unions
+        (:meth:`Histogram.merged`), events are re-emitted with a
+        ``source`` field in canonical (source, occurrence) order, gauges
+        re-attach under ``<source>.<name>``, and traces concatenate in
+        canonical source order (the snapshot's stable sort then yields one
+        deterministic ordering).  Sources are processed in sorted-name
+        order, so merging the same buses in any insertion order produces a
+        byte-identical export -- the commutativity the fabric determinism
+        gate asserts.
+
+        The merged bus is a snapshot-style composition: it does not stay
+        live-linked to its sources (except through re-attached gauges,
+        which are sampled at snapshot time as usual).
+        """
+        items = sorted(buses.items())
+        if trace_capacity is None:
+            trace_capacity = max(
+                (b.trace_capacity for _, b in items), default=100_000
+            )
+        out = cls(trace_capacity=trace_capacity)
+        for name, bus in items:
+            with bus._lock:
+                for cname, value in bus._counters.items():
+                    out._counters[cname] = out._counters.get(cname, 0) + value
+                for ev in bus._events:
+                    out._events.append({**ev, "source": name})
+                for trace in sorted(
+                    bus._traces, key=lambda t: (t.session_id, t.seq)
+                ):
+                    if len(out._traces) >= out.trace_capacity:
+                        out._traces_dropped += 1
+                    else:
+                        out._traces.append(trace)
+                out._traces_dropped += bus._traces_dropped
+                for gname, fn in bus._gauges.items():
+                    out._gauges[f"{name}.{gname}"] = fn
+        hist_names = sorted({n for _, b in items for n in b._hists})
+        for hname in hist_names:
+            out._hists[hname] = Histogram.merged(
+                [b._hists[hname] for _, b in items if hname in b._hists]
+            )
+        return out
 
     # -- export ------------------------------------------------------------------
 

@@ -18,7 +18,12 @@ from repro.faults import (
     FaultPlan,
     FaultSpec,
 )
-from repro.optimizer import Optimizer, TraditionalCardinalityEstimator
+from repro.core.errors import ConfigError
+from repro.optimizer import (
+    Optimizer,
+    RiskLambdaTuner,
+    TraditionalCardinalityEstimator,
+)
 from repro.oracle import EstimatorContractChecker, apply_mutation
 from repro.serve import Stage, bound_guard_scenario
 from repro.serve.telemetry import TelemetryBus
@@ -276,3 +281,142 @@ class TestDeploymentBoundRollback:
         scenario.run()
         assert scenario.bound_guard.violations > 0
         assert scenario.deployment.stage is not Stage.ROLLED_BACK
+
+
+class TestRiskLambdaTuner:
+    """Satellite 2: bound-guard violation rates close the loop on the
+    planner's ``risk_lambda`` blend weight."""
+
+    def _guard_and_opt(self, db, *, risk_lambda=0.2):
+        bounds = MCVJoinBoundEstimator(db)
+        opt = Optimizer(
+            db, bound_estimator=bounds, risk="blended", risk_lambda=risk_lambda
+        )
+        guard = BoundGuard(
+            TraditionalCardinalityEstimator(db),
+            bounds,
+            TraditionalCardinalityEstimator(db),
+        )
+        return opt, guard
+
+    def test_raises_on_violations_decays_on_clean(
+        self, stats_db, bound_workload
+    ):
+        opt, guard = self._guard_and_opt(stats_db)
+        bus = TelemetryBus()
+        tuner = RiskLambdaTuner(
+            opt,
+            guard,
+            target_rate=0.05,
+            window=5,
+            step=0.2,
+            decay=0.05,
+            telemetry=bus,
+        )
+        q = bound_workload[0]
+        # no adjustment before the window fills
+        guard.observe_count(q, 0.0)
+        assert tuner.tick() == pytest.approx(0.2)
+        assert tuner.windows_observed == 0
+        # a window full of audited bound violations raises the blend
+        for _ in range(5):
+            assert guard.observe_count(q, float("inf"))
+        assert tuner.tick() == pytest.approx(0.4)
+        assert opt.risk_lambda == pytest.approx(0.4)
+        assert tuner.raises == 1
+        snap = bus.snapshot()
+        assert snap["counters"]["risk_tuner.violations"] == 1
+        # clean windows decay it back toward expected-cost planning
+        for _ in range(2):
+            for _ in range(5):
+                guard.observe_count(q, 0.0)
+            tuner.tick()
+        assert opt.risk_lambda == pytest.approx(0.3)
+        assert tuner.decays == 2
+
+    def test_lambda_clamped_to_configured_bounds(
+        self, stats_db, bound_workload
+    ):
+        opt, guard = self._guard_and_opt(stats_db, risk_lambda=0.9)
+        tuner = RiskLambdaTuner(
+            opt, guard, target_rate=0.0, window=2, step=0.5, decay=2.0
+        )
+        q = bound_workload[0]
+        for _ in range(2):
+            guard.observe_count(q, float("inf"))
+        assert tuner.tick() == pytest.approx(1.0)  # not 1.4
+        for _ in range(2):
+            guard.observe_count(q, 0.0)
+        assert tuner.tick() == pytest.approx(0.0)  # not -1.0
+
+    def test_config_validation(self, stats_db):
+        opt, guard = self._guard_and_opt(stats_db)
+        with pytest.raises(ConfigError):
+            RiskLambdaTuner(opt, guard, window=0)
+        with pytest.raises(ConfigError):
+            RiskLambdaTuner(opt, guard, target_rate=1.5)
+        with pytest.raises(ConfigError):
+            RiskLambdaTuner(opt, guard, step=0.0)
+        with pytest.raises(ConfigError):
+            RiskLambdaTuner(opt, guard, min_lambda=0.8, max_lambda=0.2)
+
+    def test_deployment_integration_raises_lambda(self):
+        """A garbage-spewing estimator behind the guard drives the
+        deployment-ticked tuner to plan more pessimistically."""
+        from repro.e2e.bao import BaoOptimizer
+        from repro.engine import ExecutionSimulator
+        from repro.serve import DeploymentManager, TelemetryBus as _Bus
+
+        db = make_stats_lite(scale=0.3, seed=7)
+        bounds = MCVJoinBoundEstimator(db)
+        planning = Optimizer(
+            db, bound_estimator=bounds, risk="blended", risk_lambda=0.1
+        )
+        injector = FaultInjector(
+            FaultPlan(
+                (
+                    FaultSpec(
+                        kind="garbage",
+                        rate=0.6,
+                        target="estimator",
+                        magnitude=1e12,
+                    ),
+                ),
+                seed=7,
+            )
+        )
+        guard = BoundGuard(
+            injector.wrap_estimator(planning.estimator),
+            bounds,
+            TraditionalCardinalityEstimator(db),
+        )
+        subject = planning.with_estimator(guard)
+        tuner = RiskLambdaTuner(subject, guard, window=25, step=0.2)
+        bus = _Bus()
+        deployment = DeploymentManager(
+            BaoOptimizer(subject, seed=7),
+            Optimizer(db),
+            ExecutionSimulator(db),
+            telemetry=bus,
+            stage=Stage.CANARY,
+            canary_fraction=0.5,
+            regression_threshold=3.0,
+            window=40,
+            min_samples=15,
+            bound_guard=guard,
+            risk_tuner=tuner,
+        )
+        queries = WorkloadGenerator(db, seed=8).workload(
+            24, 2, 4, require_predicate=True
+        )
+        for q in queries:
+            deployment.serve(q)
+        assert guard.violations > 0
+        assert tuner.windows_observed >= 1
+        assert tuner.raises >= 1
+        assert subject.risk_lambda > 0.1
+        # the gauge surfaces the tuner's state in the bus snapshot
+        assert (
+            bus.snapshot()["gauges"]["risk_tuner"]["risk_lambda"]
+            == subject.risk_lambda
+        )
