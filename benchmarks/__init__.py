@@ -65,6 +65,10 @@ BENCHMARKS: dict[str, tuple[str, str]] = {
         "bench_p9_fabric",
         "sharded fabric: 10^5-query scale-out, tenant isolation, determinism",
     ),
+    "p10": (
+        "bench_p10_transfer",
+        "cross-schema transfer: zero-shot q-error gates, schema-fleet drift recovery",
+    ),
 }
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.errors import ConfigError
 from repro.costmodel.features import PlanFeaturizer
 from repro.engine.plans import Plan
 from repro.ml.nn import MLP
@@ -42,11 +43,23 @@ class ZeroShotCostModel:
         rows = [featurizer.transferable_node(plan, n) for n in plan.walk()]
         return np.stack(rows)
 
+    @staticmethod
+    def _check_dim(mat: np.ndarray, dim: int, featurizer: PlanFeaturizer) -> None:
+        if mat.shape[1] != dim:
+            raise ConfigError(
+                f"transferable-feature dimension mismatch: featurizer "
+                f"{type(featurizer).__name__} for database "
+                f"{getattr(featurizer.db, 'name', '?')!r} produces "
+                f"{mat.shape[1]}-dim node features, but this model was "
+                f"trained with dim {dim}; zero-shot transfer requires every "
+                f"database's featurizer to share one transferable feature space"
+            )
+
     def fit(
         self,
         training_sets: list[tuple[PlanFeaturizer, list[Plan], np.ndarray]],
         *,
-        samples_per_plan: int = 1,
+        samples_per_plan: int | None = None,
     ) -> "ZeroShotCostModel":
         """Train from one or more (featurizer, plans, latencies) sources.
 
@@ -54,17 +67,41 @@ class ZeroShotCostModel:
         what gives the zero-shot property.  The model learns per-node costs
         whose *sum* matches log latency; training uses the standard
         trick of regressing the per-plan mean node target.
+
+        ``samples_per_plan`` caps the node rows each plan contributes:
+        large plans are subsampled (deterministically, from this model's
+        seed) down to that many rows.  The regression target stays the
+        per-node share over the *full* node count, so predictions -- which
+        sum over all of a plan's nodes -- are unaffected in expectation.
+        ``None`` (the default) keeps every node row.
         """
-        del samples_per_plan
+        if samples_per_plan is not None and samples_per_plan < 1:
+            raise ConfigError("samples_per_plan must be >= 1 (or None)")
         if not training_sets:
             raise ValueError("need at least one training database")
+        rng = np.random.default_rng((int(self.seed), 0x5A))
         xs, ys = [], []
+        dim: int | None = None
         for featurizer, plans, lats in training_sets:
             if len(plans) != len(lats):
                 raise ValueError("plans/latencies length mismatch")
             for plan, lat in zip(plans, lats):
                 mat = self._plan_matrix(plan, featurizer)
+                if dim is None:
+                    dim = mat.shape[1]
+                else:
+                    self._check_dim(mat, dim, featurizer)
                 target = np.log1p(max(float(lat), 0.0)) / mat.shape[0]
+                if (
+                    samples_per_plan is not None
+                    and mat.shape[0] > samples_per_plan
+                ):
+                    keep = np.sort(
+                        rng.choice(
+                            mat.shape[0], size=samples_per_plan, replace=False
+                        )
+                    )
+                    mat = mat[keep]
                 xs.append(mat)
                 ys.append(np.full(mat.shape[0], target))
         x = np.concatenate(xs, axis=0)
@@ -75,9 +112,17 @@ class ZeroShotCostModel:
         return self
 
     def predict_latency(self, plan: Plan, featurizer: PlanFeaturizer) -> float:
-        """Latency on a (possibly unseen) database via its featurizer."""
+        """Latency on a (possibly unseen) database via its featurizer.
+
+        A featurizer whose transferable dimension differs from the one the
+        model was trained with raises a :class:`ConfigError` naming both
+        dimensions (instead of an opaque shape error inside the MLP) --
+        cross-schema misconfiguration must be diagnosable.
+        """
         if self._net is None:
             raise RuntimeError("predict_latency called before fit")
         mat = self._plan_matrix(plan, featurizer)
+        assert self._dim is not None
+        self._check_dim(mat, self._dim, featurizer)
         per_node = np.atleast_1d(self._net.predict(mat))
         return float(max(np.expm1(per_node.sum()), 0.0))

@@ -21,10 +21,20 @@ honest as data and workloads drift:
   queries before it may enter staged deployment (always at SHADOW);
 - :mod:`~repro.lifecycle.scenario` -- the assembled closed loop
   (:func:`drift_recovery_scenario`) that drifts the database mid-stream
-  and recovers, deterministically per seed.
+  and recovers, deterministically per seed;
+- :mod:`~repro.lifecycle.fleet` -- that same closed loop run as a
+  *fleet* (:func:`transfer_fleet_scenario`): one lifecycle stack per
+  generated schema, one schema per shard of the sharded serving fabric,
+  drifting and recovering concurrently.
 """
 
 from repro.lifecycle.experience import ExperienceRecord, ExperienceStore
+from repro.lifecycle.fleet import (
+    SchemaTenant,
+    TransferFleet,
+    build_fleet_schedule,
+    transfer_fleet_scenario,
+)
 from repro.lifecycle.gates import EvalGate, GateReport
 from repro.lifecycle.registry import ModelRegistry, ModelVersion, model_fingerprint
 from repro.lifecycle.scenario import (
@@ -58,6 +68,10 @@ __all__ = [
     "LifecycleScenario",
     "drift_recovery_scenario",
     "lifecycle_stats",
+    "SchemaTenant",
+    "TransferFleet",
+    "build_fleet_schedule",
+    "transfer_fleet_scenario",
     "CadenceTrigger",
     "DriftTrigger",
     "QErrorTrigger",

@@ -1,0 +1,454 @@
+"""Cross-schema transfer fleet: N generated databases, one serving fabric.
+
+The single-database :func:`~repro.lifecycle.scenario.drift_recovery_scenario`
+proves the lifecycle closes the loop on *one* schema it was written
+against.  This module runs that scenario as a **fleet**: every member of
+a :func:`~repro.storage.schemagen.schema_family` gets its own complete
+lifecycle stack -- native optimizer, GBDT-steered champion, experience
+store, model registry, drift/q-error triggers, eval gate, deployment
+manager -- mounted as one shard of the PR 9 sharded serving fabric, with
+one tenant per schema pinned to its schema's shard (a schema's queries
+are meaningless anywhere else).  Halfway through the global stream every
+database drifts; the closed loop must detect, retrain and recover on
+*every* schema concurrently, and two same-seed runs must export
+byte-identical merged telemetry.
+
+This is the lifecycle subsystem exercised on schemas nobody hand-tuned
+it for -- the "as many scenarios as you can imagine" axis from the
+roadmap made systematic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench.workloads import apply_drift
+from repro.cardest.drift import DDUpDetector, Warper
+from repro.cardest.querydriven import GBDTQueryEstimator
+from repro.engine.executor import CardinalityExecutor
+from repro.engine.simulator import ExecutionSimulator
+from repro.faults.clock import VirtualClock
+from repro.faults.resilience import CircuitBreaker
+from repro.lifecycle.experience import ExperienceStore
+from repro.lifecycle.gates import EvalGate
+from repro.lifecycle.registry import ModelRegistry
+from repro.lifecycle.scenario import EstimatorSteeredOptimizer, LifecycleBackend
+from repro.lifecycle.scheduler import (
+    DriftTrigger,
+    QErrorTrigger,
+    RetrainingScheduler,
+    clone_model,
+)
+from repro.optimizer.planner import Optimizer
+from repro.serve.deployment import DeploymentManager, Stage
+from repro.serve.fabric.fabric import FabricConfig, FabricRequest, ServingFabric
+from repro.serve.fabric.router import ShardRouter
+from repro.serve.fabric.shard import ShardRuntime
+from repro.serve.fabric.tenants import TenantRegistry, TenantSpec
+from repro.serve.runtime import Request, RuntimeConfig
+from repro.serve.telemetry import TelemetryBus
+from repro.sql.generator import WorkloadGenerator
+from repro.sql.query import Query
+from repro.storage.catalog import Database
+from repro.storage.schemagen import (
+    SchemaGenConfig,
+    database_fingerprint,
+    schema_family,
+)
+
+__all__ = [
+    "SchemaTenant",
+    "TransferFleet",
+    "build_fleet_schedule",
+    "transfer_fleet_scenario",
+]
+
+
+@dataclass
+class SchemaTenant:
+    """One schema's complete lifecycle stack, mounted on one shard."""
+
+    tenant_id: str
+    db: Database
+    fingerprint: str
+    native: Optimizer
+    simulator: ExecutionSimulator
+    executor: CardinalityExecutor
+    detector: DDUpDetector
+    store: ExperienceStore
+    registry: ModelRegistry
+    gate: EvalGate
+    deployment: DeploymentManager
+    scheduler: RetrainingScheduler
+    backend: LifecycleBackend
+    holdout: list[Query]
+
+    def holdout_qerror(self, *, quantile: float = 0.9) -> float:
+        """Deployed model's q-error quantile on held-out queries vs
+        *current* (post-drift) data."""
+        estimator = getattr(
+            self.deployment.learned, "estimator", self.deployment.learned
+        )
+        errs = []
+        for q in self.holdout:
+            e = max(float(estimator.estimate(q)), 1.0)
+            t = max(float(self.executor.cardinality(q)), 1.0)
+            errs.append(max(e / t, t / e))
+        return float(np.quantile(np.array(errs), quantile))
+
+
+@dataclass
+class TransferFleet:
+    """The assembled fleet: run it, then inspect every schema's loop."""
+
+    name: str
+    tenants: list[SchemaTenant]
+    fabric: ServingFabric
+    schedule: list[FabricRequest]
+    drift_at: int  # schedule index where the fleet-wide drift lands
+    drift_fraction: float
+    seed: int
+    closed_loop: bool
+    reports: list = field(default_factory=list)
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.schedule)
+
+    def apply_drift(self) -> None:
+        """Drift every schema's data and invalidate derived state."""
+        for i, tenant in enumerate(self.tenants):
+            apply_drift(
+                tenant.db, fraction=self.drift_fraction, seed=self.seed + i
+            )
+            tenant.native.stats.refresh(tenant.db)
+            tenant.native.cache.clear()
+            tenant.executor.clear_cache()
+        self.fabric.telemetry.event(
+            "fleet_drift",
+            at_request=self.drift_at,
+            fraction=self.drift_fraction,
+            n_schemas=len(self.tenants),
+        )
+
+    def run(self):
+        """Drain the schedule with the mid-stream fleet-wide drift.
+
+        The fabric loop is already a deterministic total order, so the
+        drift hook is expressed as two :meth:`ServingFabric.run` halves
+        around one :meth:`apply_drift` -- same-seed runs stay
+        byte-identical.
+        """
+        first, second = (
+            self.schedule[: self.drift_at],
+            self.schedule[self.drift_at :],
+        )
+        report_a = self.fabric.run(first)
+        self.apply_drift()
+        report_b = self.fabric.run(second)
+        self.reports = [report_a, report_b]
+        return self.reports
+
+    # -- inspection ----------------------------------------------------------------
+
+    def holdout_qerrors(self, *, quantile: float = 0.9) -> dict[str, float]:
+        return {
+            t.tenant_id: t.holdout_qerror(quantile=quantile)
+            for t in self.tenants
+        }
+
+    def retrain_stats(self) -> dict[str, dict]:
+        return {t.tenant_id: t.scheduler.stats() for t in self.tenants}
+
+    def fingerprints(self) -> dict[str, str]:
+        return {t.tenant_id: t.fingerprint for t in self.tenants}
+
+    def export_json(self, *, include_traces: bool = False) -> str:
+        """The fleet-wide merged telemetry export (deterministic bytes)."""
+        return self.fabric.export_json(include_traces=include_traces)
+
+
+def build_fleet_schedule(
+    tenant_queries: list[tuple[str, list[Query]]],
+    *,
+    seed: int = 0,
+    mean_interarrival_ms: float = 25.0,
+) -> list[FabricRequest]:
+    """One global arrival order interleaving each tenant's own stream.
+
+    Unlike :func:`~repro.serve.fabric.build_fabric_schedule`, tenants
+    here are *not* interchangeable -- each tenant's queries reference its
+    own schema -- so the mix round-robins the given per-tenant streams
+    (dropping tenants as they drain) while arrival gaps come from one
+    seeded exponential process.  Pure function of its arguments.
+    """
+    rng = np.random.default_rng((int(seed), 0xF1EE7))
+    remaining = [list(qs) for _, qs in tenant_queries]
+    total = sum(len(r) for r in remaining)
+    gaps = rng.exponential(mean_interarrival_ms, size=total)
+    schedule: list[FabricRequest] = []
+    now = 0.0
+    seqs = [0] * len(tenant_queries)
+    g = 0
+    while any(remaining):
+        for t, (tenant_id, _) in enumerate(tenant_queries):
+            if not remaining[t]:
+                continue
+            query = remaining[t].pop(0)
+            now += float(gaps[g])
+            g += 1
+            schedule.append(
+                FabricRequest(
+                    tenant_id=tenant_id,
+                    request=Request(
+                        session_id=t,
+                        seq=seqs[t],
+                        global_seq=len(schedule),
+                        arrival_ms=now,
+                        query=query,
+                    ),
+                )
+            )
+            seqs[t] += 1
+    return schedule
+
+
+def _schema_stack(
+    index: int,
+    db: Database,
+    *,
+    seed: int,
+    n_train: int,
+    n_holdout: int,
+    closed_loop: bool,
+    drift_check_every: int,
+    qerror_degradation: float,
+    cooldown_queries: int,
+    shard_config: RuntimeConfig | None,
+) -> tuple[SchemaTenant, ShardRuntime]:
+    """One schema's lifecycle stack + the shard serving it (mirrors
+    :func:`~repro.lifecycle.scenario.drift_recovery_scenario`, minus the
+    per-database runtime -- the fabric drives the shard instead)."""
+    native = Optimizer(db)
+    simulator = ExecutionSimulator(db)
+    executor = CardinalityExecutor(db)
+    bus = TelemetryBus()
+    shared = (db, native, simulator, executor, native.stats, native.cache)
+
+    gen = WorkloadGenerator(db, seed=seed + 1)
+    max_tables = min(3, gen.max_component_size)
+    train_queries = gen.workload(n_train, 1, max_tables, require_predicate=True)
+    train_cards = np.array(
+        [float(executor.cardinality(q)) for q in train_queries]
+    )
+    estimator = GBDTQueryEstimator(db, seed=seed).fit(train_queries, train_cards)
+    champion = EstimatorSteeredOptimizer(
+        native, estimator, name=f"steered-{db.name}"
+    )
+
+    store = ExperienceStore(2_000, seed=seed)
+    registry = ModelRegistry(shared=shared, telemetry=bus)
+    v0 = registry.register(
+        champion, trigger="initial", snapshot_id=store.snapshot_id()
+    )
+    detector = DDUpDetector(db, seed=seed, telemetry=bus)
+    holdout = WorkloadGenerator(db, seed=seed + 2).workload(
+        n_holdout, 1, max_tables, require_predicate=True
+    )
+    gate = EvalGate(
+        holdout,
+        simulator=simulator,
+        executor=executor,
+        telemetry=bus,
+        max_p50_ratio=1.15,
+        max_p95_ratio=1.30,
+        max_qerror_ratio=1.25,
+        max_regression_rate=0.25,
+    )
+    deployment = DeploymentManager(
+        champion,
+        native,
+        simulator,
+        telemetry=bus,
+        stage=Stage.LIVE,
+        canary_fraction=0.5,
+        window=12,
+        min_samples=6,
+        regression_threshold=5.0,
+        auto_promote=True,
+        experience=store,
+        registry=registry,
+        model_version=v0.version_id,
+    )
+    registry.record_stage(v0.version_id, "live", reason="initial")
+
+    history = list(zip(train_queries, train_cards.tolist()))
+
+    def retrainer(current, exp_store, action: str):
+        challenger = clone_model(current, shared=shared)
+        warper = Warper(
+            db,
+            challenger.estimator,
+            detector=detector,
+            queries_per_table=30,
+            keep_old=len(history),
+            seed=seed + 3,
+            telemetry=bus,
+            experience=exp_store,
+            history=history,
+        )
+        warper.adapt()
+        return challenger
+
+    triggers: list = []
+    if closed_loop:
+        triggers.append(
+            DriftTrigger(detector, check_every=drift_check_every, store=store)
+        )
+        triggers.append(
+            QErrorTrigger(
+                degradation=qerror_degradation,
+                window=32,
+                min_samples=16,
+                quantile=0.9,
+            )
+        )
+    scheduler = RetrainingScheduler(
+        registry,
+        store,
+        retrainer,
+        triggers=triggers,
+        gate=gate,
+        deployment=deployment,
+        telemetry=bus,
+        cooldown_queries=cooldown_queries,
+    )
+    backend = LifecycleBackend(deployment, scheduler)
+    clock = VirtualClock()
+    breaker = CircuitBreaker(
+        failure_threshold=3,
+        cooldown_ms=500.0,
+        clock=clock,
+        name=f"shard{index:02d}",
+    )
+    shard = ShardRuntime(
+        index,
+        backend,
+        n_workers=1,
+        config=shard_config,
+        telemetry=bus,
+        breaker=breaker,
+        clock=clock,
+    )
+    tenant = SchemaTenant(
+        tenant_id=db.name,
+        db=db,
+        fingerprint=database_fingerprint(db),
+        native=native,
+        simulator=simulator,
+        executor=executor,
+        detector=detector,
+        store=store,
+        registry=registry,
+        gate=gate,
+        deployment=deployment,
+        scheduler=scheduler,
+        backend=backend,
+        holdout=holdout,
+    )
+    return tenant, shard
+
+
+def transfer_fleet_scenario(
+    *,
+    n_schemas: int = 8,
+    seed: int = 0,
+    schema_config: SchemaGenConfig | None = None,
+    queries_per_tenant: int = 36,
+    n_train: int = 40,
+    n_holdout: int = 14,
+    drift_fraction: float = 0.45,
+    drift_check_every: int = 8,
+    qerror_degradation: float = 3.0,
+    cooldown_queries: int = 12,
+    mean_interarrival_ms: float = 25.0,
+    closed_loop: bool = True,
+    shard_config: RuntimeConfig | None = None,
+) -> TransferFleet:
+    """Assemble the fleet: one generated schema per tenant per shard.
+
+    ``closed_loop=False`` builds the frozen control fleet -- identical
+    schemas, streams and drift, but no retraining triggers -- whose
+    post-drift q-error the transfer benchmark compares against.
+    """
+    if schema_config is None:
+        schema_config = SchemaGenConfig(
+            n_tables=(3, 5), rows=(150, 450), attr_cols=(1, 2)
+        )
+    databases = schema_family(n_schemas, seed=seed, config=schema_config)
+    config = (
+        shard_config
+        if shard_config is not None
+        else RuntimeConfig(timeout_ms=None, queue_capacity=None, max_in_flight=None)
+    )
+    tenants: list[SchemaTenant] = []
+    shards: list[ShardRuntime] = []
+    for i, db in enumerate(databases):
+        tenant, shard = _schema_stack(
+            i,
+            db,
+            seed=seed + 10 * i,
+            n_train=n_train,
+            n_holdout=n_holdout,
+            closed_loop=closed_loop,
+            drift_check_every=drift_check_every,
+            qerror_degradation=qerror_degradation,
+            cooldown_queries=cooldown_queries,
+            shard_config=config,
+        )
+        tenants.append(tenant)
+        shards.append(shard)
+    specs = tuple(
+        TenantSpec(tenant_id=t.tenant_id, qos="interactive") for t in tenants
+    )
+    router = ShardRouter(
+        len(shards),
+        mode="pinned",
+        seed=seed,
+        pinned={t.tenant_id: i for i, t in enumerate(tenants)},
+    )
+    fabric = ServingFabric(
+        shards,
+        TenantRegistry(specs),
+        config=FabricConfig(seed=seed, route_mode="pinned"),
+        router=router,
+    )
+    tenant_queries = []
+    for i, t in enumerate(tenants):
+        gen = WorkloadGenerator(t.db, seed=seed + 4 + i)
+        tenant_queries.append(
+            (
+                t.tenant_id,
+                gen.workload(
+                    queries_per_tenant,
+                    1,
+                    min(3, gen.max_component_size),
+                    require_predicate=True,
+                ),
+            )
+        )
+    schedule = build_fleet_schedule(
+        tenant_queries, seed=seed, mean_interarrival_ms=mean_interarrival_ms
+    )
+    return TransferFleet(
+        name="transfer_fleet" if closed_loop else "transfer_fleet_frozen",
+        tenants=tenants,
+        fabric=fabric,
+        schedule=schedule,
+        drift_at=len(schedule) // 2,
+        drift_fraction=drift_fraction,
+        seed=seed,
+        closed_loop=closed_loop,
+    )

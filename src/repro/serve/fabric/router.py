@@ -31,11 +31,20 @@ from repro.core.errors import ConfigError
 __all__ = ["ROUTE_MODES", "ShardRouter"]
 
 #: accepted partitioning modes
-ROUTE_MODES = ("query_hash", "tenant")
+ROUTE_MODES = ("query_hash", "tenant", "pinned")
 
 
 class ShardRouter:
-    """Two-choice rendezvous routing over ``n_shards`` with failover."""
+    """Two-choice rendezvous routing over ``n_shards`` with failover.
+
+    Mode ``"pinned"`` bypasses two-choice placement: an explicit
+    ``pinned`` map assigns each tenant id to one shard, with *no*
+    failover -- the shard owns state (e.g. that tenant's database) that
+    no other shard can serve, so an unhealthy pinned shard makes the
+    request ``unroutable`` rather than misrouted.  This is what the
+    cross-schema transfer fleet uses: one tenant per generated schema,
+    one schema per shard.
+    """
 
     def __init__(
         self,
@@ -43,14 +52,22 @@ class ShardRouter:
         *,
         mode: str = "query_hash",
         seed: int = 0,
+        pinned: dict[str, int] | None = None,
     ) -> None:
         if n_shards < 1:
             raise ConfigError("need at least one shard")
         if mode not in ROUTE_MODES:
             raise ConfigError(f"unknown route mode {mode!r}; one of {ROUTE_MODES}")
+        if (mode == "pinned") != (pinned is not None):
+            raise ConfigError("mode='pinned' requires (and is required by) a pinned map")
+        if pinned is not None:
+            bad = {k: s for k, s in pinned.items() if not 0 <= s < n_shards}
+            if bad:
+                raise ConfigError(f"pinned assignments out of range: {bad}")
         self.n_shards = n_shards
         self.mode = mode
         self.seed = int(seed)
+        self.pinned = dict(pinned) if pinned is not None else None
         self.assignments = [0] * n_shards
         self.reroutes = 0  # served off the primary candidate (health)
         self.unroutable = 0  # every shard unhealthy
@@ -97,6 +114,19 @@ class ShardRouter:
         ``(seed, key)`` and the observed (load, health) values, and ties
         prefer the primary candidate, then the lower shard id.
         """
+        if self.pinned is not None:
+            try:
+                shard = self.pinned[key]
+            except KeyError:
+                raise ConfigError(
+                    f"no pinned shard for routing key {key!r}; "
+                    f"pinned tenants: {sorted(self.pinned)}"
+                ) from None
+            if not healthy[shard]:
+                self.unroutable += 1
+                return None
+            self.assignments[shard] += 1
+            return shard
         first, second = self.candidates(key)
         chosen: int | None = None
         if healthy[first]:
@@ -121,7 +151,8 @@ class ShardRouter:
         return chosen
 
     def routing_key(self, query_hash_value: str, tenant_id: str) -> str:
-        """The partition key under the configured mode."""
+        """The partition key under the configured mode (tenant id for both
+        ``tenant`` and ``pinned`` modes)."""
         return query_hash_value if self.mode == "query_hash" else tenant_id
 
     # -- reporting ---------------------------------------------------------------

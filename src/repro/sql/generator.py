@@ -55,39 +55,85 @@ class WorkloadGenerator:
                 if not table.column(c).is_key and (tname, c) not in join_cols
             ]
             self._pred_columns[tname] = usable
+        # Connected components of the join graph (deterministic order, no
+        # RNG): generated schemas may have several components or isolated
+        # tables, and subgraph sampling must stay inside one component.
+        self._components = self._connected_components()
+        self.max_component_size = max(len(c) for c in self._components)
 
     # -- subgraph selection -------------------------------------------------------
+
+    def _connected_components(self) -> list[list[str]]:
+        """Components of the join graph, each sorted, in first-table order."""
+        seen: set[str] = set()
+        components: list[list[str]] = []
+        for start in self.db.table_names:
+            if start in seen:
+                continue
+            seen.add(start)
+            stack, comp = [start], [start]
+            while stack:
+                t = stack.pop()
+                for nb in sorted(self.db.neighbors(t)):
+                    if nb not in seen:
+                        seen.add(nb)
+                        stack.append(nb)
+                        comp.append(nb)
+            components.append(sorted(comp))
+        return components
+
+    def _grow_connected(self, start: str, n_tables: int) -> set[str]:
+        """Random walk over join edges from ``start``; the returned set is
+        connected and, when ``start``'s component has >= ``n_tables``
+        tables, has exactly ``n_tables`` members (the frontier always
+        holds every boundary edge of the chosen set)."""
+        chosen = {start}
+        frontier_edges = list(self.db.edges_for(start))
+        while len(chosen) < n_tables and frontier_edges:
+            edge = frontier_edges.pop(self.rng.integers(len(frontier_edges)))
+            for t in (edge.left_table, edge.right_table):
+                if t not in chosen:
+                    chosen.add(t)
+                    frontier_edges.extend(
+                        e
+                        for e in self.db.edges_for(t)
+                        if e.other(t) not in chosen
+                    )
+            frontier_edges = [
+                e
+                for e in frontier_edges
+                if e.left_table not in chosen or e.right_table not in chosen
+            ]
+        return chosen
 
     def _random_connected_tables(self, n_tables: int) -> list[str]:
         names = self.db.table_names
         if n_tables <= 1:
             return [names[self.rng.integers(len(names))]]
-        # Random walk over the join graph from a random start.
-        for _ in range(50):
+        if len(self._components) == 1:
+            # Historical path (connected graphs): identical RNG draw
+            # sequence, so pre-existing seeded workloads stay byte-equal.
             start = names[self.rng.integers(len(names))]
-            chosen = {start}
-            frontier_edges = list(self.db.edges_for(start))
-            while len(chosen) < n_tables and frontier_edges:
-                edge = frontier_edges.pop(self.rng.integers(len(frontier_edges)))
-                for t in (edge.left_table, edge.right_table):
-                    if t not in chosen:
-                        chosen.add(t)
-                        frontier_edges.extend(
-                            e
-                            for e in self.db.edges_for(t)
-                            if e.other(t) not in chosen
-                        )
-                frontier_edges = [
-                    e
-                    for e in frontier_edges
-                    if e.left_table not in chosen or e.right_table not in chosen
-                ]
+            chosen = self._grow_connected(start, n_tables)
             if len(chosen) == n_tables:
                 return sorted(chosen)
-        raise ValueError(
-            f"join graph of {self.db.name!r} has no connected subgraph "
-            f"of {n_tables} tables"
-        )
+            raise ValueError(
+                f"join graph of {self.db.name!r} has no connected subgraph "
+                f"of {n_tables} tables"
+            )
+        # Component-aware path: sample a component that can satisfy the
+        # request, then walk inside it (edges never cross components, so
+        # the walk is guaranteed to finish without retries).
+        eligible = [c for c in self._components if len(c) >= n_tables]
+        if not eligible:
+            raise ValueError(
+                f"join graph of {self.db.name!r} has no connected subgraph of "
+                f"{n_tables} tables: component sizes are "
+                f"{sorted((len(c) for c in self._components), reverse=True)}"
+            )
+        comp = eligible[self.rng.integers(len(eligible))]
+        start = comp[self.rng.integers(len(comp))]
+        return sorted(self._grow_connected(start, n_tables))
 
     def _joins_for(self, tables: list[str]) -> list[Join]:
         """All declared join edges internal to the chosen tables (cycle-keeping)."""
@@ -162,7 +208,14 @@ class WorkloadGenerator:
         """One random connected SPJ query."""
         if min_tables < 1 or max_tables < min_tables:
             raise ValueError("need 1 <= min_tables <= max_tables")
-        cap = len(self.db.table_names)
+        # Join sizes are capped by the largest connected component, not the
+        # table count -- on a disconnected (generated) schema the two differ.
+        cap = self.max_component_size
+        if min_tables > cap:
+            raise ValueError(
+                f"min_tables={min_tables} exceeds the largest connected "
+                f"component of {self.db.name!r} ({cap} tables)"
+            )
         n_tables = int(self.rng.integers(min_tables, min(max_tables, cap) + 1))
         tables = self._random_connected_tables(n_tables)
         joins = self._joins_for(tables)
@@ -406,7 +459,12 @@ class WorkloadGenerator:
                 raise ValueError(f"{name} must be in [0, 1]")
         out: list[Query] = []
         for _ in range(n_queries):
-            cap = len(self.db.table_names)
+            cap = self.max_component_size
+            if min_tables > cap:
+                raise ValueError(
+                    f"min_tables={min_tables} exceeds the largest connected "
+                    f"component of {self.db.name!r} ({cap} tables)"
+                )
             n_tables = int(
                 self.rng.integers(min_tables, min(max_tables, cap) + 1)
             )

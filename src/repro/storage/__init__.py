@@ -12,7 +12,11 @@ layer.  It provides:
   estimators);
 - :mod:`repro.storage.datasets` -- three ready-made databases mirroring the
   benchmarks the tutorial discusses: ``imdb_lite`` (JOB-style),
-  ``stats_lite`` (STATS-style) and ``tpch_lite`` (star schema).
+  ``stats_lite`` (STATS-style) and ``tpch_lite`` (star schema);
+- :mod:`repro.storage.schemagen` -- seeded random schema/data generator
+  emitting whole *families* of databases (variable table counts, join
+  topologies, skew/correlation profiles) with deterministic fingerprints,
+  for cross-schema transfer evaluation.
 """
 
 from repro.storage.table import Column, Table
@@ -23,12 +27,26 @@ from repro.storage.datasets import (
     make_stats_lite,
     make_tpch_lite,
 )
+from repro.storage.schemagen import (
+    TOPOLOGIES,
+    SchemaGenConfig,
+    database_fingerprint,
+    generate_database,
+    schema_family,
+    topology_summary,
+)
 
 __all__ = [
     "Column",
     "Table",
     "Database",
     "JoinEdge",
+    "TOPOLOGIES",
+    "SchemaGenConfig",
+    "database_fingerprint",
+    "generate_database",
+    "schema_family",
+    "topology_summary",
     "make_imdb_lite",
     "make_ssb_lite",
     "make_stats_lite",

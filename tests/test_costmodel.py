@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 from scipy.stats import spearmanr
 
+from repro.core.errors import ConfigError
 from repro.costmodel import (
     ConcurrentCostModel,
     ConcurrentWorkload,
@@ -131,6 +132,98 @@ class TestZeroShot:
     def test_requires_training_sets(self):
         with pytest.raises(ValueError):
             ZeroShotCostModel().fit([])
+
+    def test_dim_mismatch_raises_config_error(
+        self, imdb_db, imdb_optimizer, imdb_plan_corpus
+    ):
+        """A featurizer with the wrong transferable dimension must fail
+        with a typed, self-diagnosing error -- not an opaque numpy shape
+        error from inside the MLP (the old behavior)."""
+
+        class _WideFeaturizer(PlanFeaturizer):
+            def transferable_node(self, plan, node):
+                row = super().transferable_node(plan, node)
+                return np.concatenate([row, [0.0]])
+
+        plans, lats = imdb_plan_corpus
+        feat = PlanFeaturizer(imdb_db, imdb_optimizer.estimator)
+        model = ZeroShotCostModel(epochs=5, seed=0)
+        model.fit([(feat, list(plans[:10]), lats[:10])])
+        wide = _WideFeaturizer(imdb_db, imdb_optimizer.estimator)
+        with pytest.raises(ConfigError) as exc:
+            model.predict_latency(plans[0], wide)
+        msg = str(exc.value)
+        assert "_WideFeaturizer" in msg
+        # both dimensions are named so the mismatch is diagnosable
+        assert str(feat.transferable_node(plans[0], next(plans[0].walk())).shape[0]) in msg
+
+    def test_fit_rejects_mixed_dims(
+        self, imdb_db, imdb_optimizer, imdb_plan_corpus
+    ):
+        class _WideFeaturizer(PlanFeaturizer):
+            def transferable_node(self, plan, node):
+                row = super().transferable_node(plan, node)
+                return np.concatenate([row, [0.0]])
+
+        plans, lats = imdb_plan_corpus
+        feat = PlanFeaturizer(imdb_db, imdb_optimizer.estimator)
+        wide = _WideFeaturizer(imdb_db, imdb_optimizer.estimator)
+        with pytest.raises(ConfigError):
+            ZeroShotCostModel(epochs=5, seed=0).fit(
+                [
+                    (feat, list(plans[:5]), lats[:5]),
+                    (wide, list(plans[5:10]), lats[5:10]),
+                ]
+            )
+
+    def test_samples_per_plan_subsamples(
+        self, imdb_db, imdb_optimizer, imdb_plan_corpus, monkeypatch
+    ):
+        """``samples_per_plan`` really caps each plan's node rows (the
+        old signature accepted the argument and silently ``del``'d it)."""
+        import repro.costmodel.zeroshot as zs_mod
+
+        plans, lats = imdb_plan_corpus
+        feat = PlanFeaturizer(imdb_db, imdb_optimizer.estimator)
+        probe = ZeroShotCostModel()
+        assert max(
+            probe._plan_matrix(p, feat).shape[0] for p in plans[:10]
+        ) > 1, "corpus has no multi-node plans; subsampling untestable"
+        captured = {}
+        real_mlp = zs_mod.MLP
+
+        class _SpyMLP(real_mlp):
+            def fit(self, x, y, **kwargs):
+                captured["n_rows"] = x.shape[0]
+                return super().fit(x, y, **kwargs)
+
+        monkeypatch.setattr(zs_mod, "MLP", _SpyMLP)
+        capped = ZeroShotCostModel(epochs=5, seed=0)
+        capped.fit([(feat, list(plans[:10]), lats[:10])], samples_per_plan=1)
+        # exactly one training row per plan reached the MLP
+        assert captured["n_rows"] == 10
+        # predictions still sum over *all* nodes and stay finite
+        pred = capped.predict_latency(plans[0], feat)
+        assert np.isfinite(pred) and pred >= 0.0
+
+    def test_samples_per_plan_validation_and_default(
+        self, imdb_db, imdb_optimizer, imdb_plan_corpus
+    ):
+        plans, lats = imdb_plan_corpus
+        feat = PlanFeaturizer(imdb_db, imdb_optimizer.estimator)
+        with pytest.raises(ConfigError):
+            ZeroShotCostModel(epochs=5, seed=0).fit(
+                [(feat, list(plans[:5]), lats[:5])], samples_per_plan=0
+            )
+        # a cap larger than any plan is identical to the None default
+        a = ZeroShotCostModel(epochs=5, seed=0)
+        a.fit([(feat, list(plans[:10]), lats[:10])])
+        b = ZeroShotCostModel(epochs=5, seed=0)
+        b.fit([(feat, list(plans[:10]), lats[:10])], samples_per_plan=10_000)
+        for p in plans[:5]:
+            assert a.predict_latency(p, feat) == pytest.approx(
+                b.predict_latency(p, feat)
+            )
 
 
 class TestConcurrent:

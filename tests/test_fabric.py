@@ -202,6 +202,55 @@ class TestShardRouter:
         assert ShardRouter(4).routing_key("qh", "t1") == "qh"
 
 
+class TestPinnedRouter:
+    def _views(self, healthy):
+        class L:
+            def __getitem__(self, i):
+                return 0
+
+        class H:
+            def __getitem__(self, i):
+                return healthy[i]
+
+        return L(), H()
+
+    def test_pinned_routes_to_assigned_shard(self):
+        router = ShardRouter(
+            4, mode="pinned", pinned={"a": 0, "b": 2, "c": 3}
+        )
+        loads, healthy = self._views([True] * 4)
+        for tenant, shard in (("a", 0), ("b", 2), ("c", 3)):
+            for _ in range(3):
+                assert router.route(tenant, loads=loads, healthy=healthy) == shard
+        assert router.reroutes == 0
+        assert router.routing_key("qh", "b") == "b"
+
+    def test_pinned_never_fails_over(self):
+        """A pinned shard owns state no other shard can serve: an
+        unhealthy pinned shard makes the request unroutable, never
+        misrouted."""
+        router = ShardRouter(2, mode="pinned", pinned={"a": 0, "b": 1})
+        health = [True, False]
+        loads, healthy = self._views(health)
+        assert router.route("b", loads=loads, healthy=healthy) is None
+        assert router.unroutable == 1
+        assert router.route("a", loads=loads, healthy=healthy) == 0
+
+    def test_pinned_unknown_tenant_raises(self):
+        router = ShardRouter(2, mode="pinned", pinned={"a": 0})
+        loads, healthy = self._views([True, True])
+        with pytest.raises(ConfigError, match="pinned"):
+            router.route("ghost", loads=loads, healthy=healthy)
+
+    def test_pinned_config_validation(self):
+        with pytest.raises(ConfigError):
+            ShardRouter(2, mode="pinned")  # map required
+        with pytest.raises(ConfigError):
+            ShardRouter(2, pinned={"a": 0})  # map requires the mode
+        with pytest.raises(ConfigError):
+            ShardRouter(2, mode="pinned", pinned={"a": 5})  # out of range
+
+
 # ---------------------------------------------------------------------------
 # tenants: quotas and QoS
 # ---------------------------------------------------------------------------

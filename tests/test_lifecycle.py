@@ -567,3 +567,70 @@ def test_e2e_drift_recovery_is_seed_reproducible():
     stats = lifecycle_stats(a)
     rendered = render_lifecycle_stats(stats)
     assert "scheduler" in rendered and "registry" in rendered
+
+
+# ---------------------------------------------------------------------------
+# cross-schema transfer fleet
+# ---------------------------------------------------------------------------
+
+
+def _tiny_fleet(seed=0, **kw):
+    from repro.lifecycle import transfer_fleet_scenario
+
+    kw.setdefault("n_schemas", 2)
+    kw.setdefault("queries_per_tenant", 10)
+    kw.setdefault("n_train", 16)
+    kw.setdefault("n_holdout", 6)
+    return transfer_fleet_scenario(seed=seed, **kw)
+
+
+class TestTransferFleet:
+    def test_fleet_serves_every_request_on_its_pinned_shard(self):
+        fleet = _tiny_fleet()
+        fleet.run()
+        served = sum(r.n_served for r in fleet.reports)
+        assert served == fleet.n_requests
+        # one tenant per shard, no cross-schema misrouting
+        assert fleet.fabric.router.unroutable == 0
+        assert fleet.fabric.router.reroutes == 0
+        per_tenant = fleet.n_requests // len(fleet.tenants)
+        assert fleet.fabric.router.assignments == [per_tenant] * len(
+            fleet.tenants
+        )
+
+    def test_fleet_schedule_interleaves_all_tenants(self):
+        fleet = _tiny_fleet()
+        tenants = {r.tenant_id for r in fleet.schedule[:4]}
+        assert tenants == {t.tenant_id for t in fleet.tenants}
+        arrivals = [r.request.arrival_ms for r in fleet.schedule]
+        assert arrivals == sorted(arrivals)
+
+    def test_frozen_fleet_never_retrains(self):
+        fleet = _tiny_fleet(closed_loop=False)
+        fleet.run()
+        stats = fleet.retrain_stats()
+        assert all(v["retrains"] == 0 for v in stats.values())
+        assert all(v["deploys"] == 0 for v in stats.values())
+
+    def test_same_seed_fleets_are_byte_identical(self):
+        def run():
+            fleet = _tiny_fleet(seed=4)
+            fleet.run()
+            return fleet
+
+        a, b = run(), run()
+        assert a.export_json(include_traces=True) == b.export_json(
+            include_traces=True
+        )
+        assert a.fingerprints() == b.fingerprints()
+        assert _tiny_fleet(seed=5).fingerprints() != a.fingerprints()
+
+    def test_drift_event_lands_mid_stream(self):
+        fleet = _tiny_fleet()
+        fleet.run()
+        snap = json.loads(fleet.export_json())
+        drift_events = [
+            e for e in snap["events"] if e["kind"] == "fleet_drift"
+        ]
+        assert len(drift_events) == 1
+        assert drift_events[0]["n_schemas"] == len(fleet.tenants)

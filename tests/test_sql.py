@@ -265,3 +265,87 @@ class TestWorkloadGenerator:
         gen = WorkloadGenerator(stats_db, seed=8)
         with pytest.raises(ValueError):
             gen.random_query(3, 2)
+
+
+class TestDisconnectedSchemas:
+    """Regression: the subgraph sampler used to assume one connected
+    join graph and died after 50 futile retries on generated schemas
+    with multiple components."""
+
+    @pytest.fixture(scope="class")
+    def disconnected_db(self):
+        from repro.storage import SchemaGenConfig, generate_database
+
+        cfg = SchemaGenConfig(
+            n_tables=(6, 6), rows=(80, 150), attr_cols=(1, 2), n_components=2
+        )
+        db = generate_database(11, cfg)
+        from repro.storage import topology_summary
+
+        assert len(topology_summary(db)["components"]) == 2
+        return db
+
+    def _component_of(self, db, table):
+        seen, stack = {table}, [table]
+        while stack:
+            t = stack.pop()
+            for nb in db.neighbors(t):
+                if nb not in seen:
+                    seen.add(nb)
+                    stack.append(nb)
+        return frozenset(seen)
+
+    def test_workload_on_disconnected_schema(self, disconnected_db):
+        gen = WorkloadGenerator(disconnected_db, seed=0)
+        cap = gen.max_component_size
+        assert cap < len(disconnected_db.table_names)
+        for q in gen.workload(40, 2, cap):
+            assert q.is_connected()
+            # every query lives inside exactly one component
+            comp = self._component_of(disconnected_db, q.tables[0])
+            assert set(q.tables) <= comp
+
+    def test_oversized_request_names_components(self, disconnected_db):
+        gen = WorkloadGenerator(disconnected_db, seed=0)
+        too_many = gen.max_component_size + 1
+        with pytest.raises(ValueError, match="component"):
+            gen.random_query(too_many, too_many)
+
+    def test_size_cap_respected_per_component(self, disconnected_db):
+        """min_tables above the smallest component's size must still
+        succeed by sampling only from components that are big enough."""
+        sizes = sorted(len(c) for c in gen_components(disconnected_db))
+        gen = WorkloadGenerator(disconnected_db, seed=2)
+        if sizes[0] < sizes[-1]:
+            n = sizes[0] + 1
+            for q in gen.workload(15, n, sizes[-1]):
+                comp = self._component_of(disconnected_db, q.tables[0])
+                assert len(comp) >= n
+
+    def test_connected_graph_sampling_unchanged(self, stats_db):
+        """On a connected graph the component-aware path must not perturb
+        the RNG draw sequence -- seeded workloads are a repo-wide
+        determinism contract."""
+        gen = WorkloadGenerator(stats_db, seed=13)
+        assert len(gen._components) == 1
+        assert gen.max_component_size == len(stats_db.table_names)
+        qs = gen.workload(10, 2, 4)
+        assert all(q.is_connected() for q in qs)
+
+
+def gen_components(db):
+    seen, comps = set(), []
+    for start in db.table_names:
+        if start in seen:
+            continue
+        comp, stack = {start}, [start]
+        seen.add(start)
+        while stack:
+            t = stack.pop()
+            for nb in db.neighbors(t):
+                if nb not in seen:
+                    seen.add(nb)
+                    comp.add(nb)
+                    stack.append(nb)
+        comps.append(comp)
+    return comps
